@@ -1,0 +1,61 @@
+// Command fig2 regenerates the paper's Figure 2: simulated convergence
+// time of the Log-Size-Estimation protocol vs population size, 10 trials
+// per size, rendered as a table, a CSV, and an ASCII scatter plot with a
+// logarithmic x axis (the paper's format).
+//
+// By default it uses the fast constant preset and n ∈ {100, 1000, 10000};
+// -full adds n = 100000 and -paper switches to the 95/5 constants of
+// Protocol 1 (≈30× more interactions; budget accordingly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/expt"
+	"github.com/popsim/popsize/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fig2:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	full := flag.Bool("full", false, "add n = 100000")
+	paper := flag.Bool("paper", false, "use the paper's constants (95/5)")
+	trials := flag.Int("trials", 10, "trials per population size (paper: 10)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	outDir := flag.String("out", "results", "directory for fig2.csv (empty = skip)")
+	flag.Parse()
+
+	cfg := core.FastConfig()
+	if *paper {
+		cfg = core.PaperConfig()
+	}
+	ns := []int{100, 1000, 10000}
+	if *full {
+		ns = append(ns, 100000)
+	}
+
+	res := expt.Fig2(cfg, ns, *trials, *seed)
+	fmt.Println(res.Table.Markdown())
+	fmt.Println(stats.ASCIIPlotLogX("Figure 2: convergence time vs population size (log10 x)", res.Points, 64, 18))
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, "fig2.csv")
+		if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

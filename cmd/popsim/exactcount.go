@@ -1,0 +1,20 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/popsim/popsize/internal/exactcount"
+	"github.com/popsim/popsize/internal/pop"
+)
+
+func runExactCount(n int, seed uint64, trial int) error {
+	p := exactcount.New(0)
+	s := p.NewSim(n, pop.WithSeed(seed))
+	ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
+	if !ok {
+		return fmt.Errorf("exact count never terminated on n=%d", n)
+	}
+	fmt.Printf("trial %d: count=%d exact=%v time=%.0f\n", trial, exactcount.LeaderCount(s),
+		exactcount.LeaderCount(s) == n, at)
+	return nil
+}

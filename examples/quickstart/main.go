@@ -1,0 +1,32 @@
+// Quickstart: estimate the size of a population none of whose members know
+// n — the headline capability of Doty & Eftekhari (PODC 2019) — using the
+// public popsize API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/popsim/popsize"
+)
+
+func main() {
+	for _, n := range []int{100, 1000, 10000} {
+		est, truth, err := popsize.Estimate(n, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("n = %6d: protocol says log2(n) ≈ %6.2f, truth %6.2f, error %.2f (bound %.1f w.p. >= 1−9/n)\n",
+			n, est, truth, math.Abs(est-truth), popsize.ErrorBound)
+	}
+
+	// The weak baseline estimate ([2]): one geometric sample per agent,
+	// maximum by epidemic — faster but only multiplicatively accurate.
+	k, err := popsize.WeakEstimate(10000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nweak baseline on n = 10000: k = %d (k/log2(n) = %.2f; guaranteed in [0.7, 2.0] w.h.p.)\n",
+		k, float64(k)/math.Log2(10000))
+}

@@ -1,0 +1,101 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+func TestLeaderlessTick(t *testing.T) {
+	c := Leaderless{Threshold: 3}
+	tests := []struct {
+		name string
+		in   LeaderlessState
+		want LeaderlessState
+	}{
+		{"plain increment", LeaderlessState{Count: 0, Round: 0}, LeaderlessState{Count: 1, Round: 0}},
+		{"threshold bumps round", LeaderlessState{Count: 2, Round: 4}, LeaderlessState{Count: 0, Round: 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.tick(tt.in); got != tt.want {
+				t.Errorf("tick(%+v) = %+v, want %+v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestLeaderlessRoundsMonotone: under the rule, neither agent's round ever
+// decreases (property-based).
+func TestLeaderlessRoundsMonotone(t *testing.T) {
+	c := Leaderless{Threshold: 10}
+	f := func(rc, rr, sc, sr uint16) bool {
+		rec := LeaderlessState{Count: uint32(rc % 10), Round: uint32(rr)}
+		sen := LeaderlessState{Count: uint32(sc % 10), Round: uint32(sr)}
+		gr, gs := c.Rule(rec, sen, nil)
+		return gr.Round >= rec.Round && gs.Round >= sen.Round
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeaderlessRoundSpread runs the clock and checks that rounds advance
+// and the population never spreads across more than two round values at a
+// check point (the epidemic resynchronizes faster than rounds turn over
+// when the threshold is Θ(log n) or larger).
+func TestLeaderlessRoundSpread(t *testing.T) {
+	const n = 500
+	threshold := uint32(16 * math.Log2(n)) // comfortably above the epidemic window
+	c := Leaderless{Threshold: threshold}
+	s := pop.New(n, c.Initial, c.Rule, pop.WithSeed(3))
+	for i := 0; i < 40; i++ {
+		s.RunTime(float64(threshold) / 4)
+		if spread := MaxRound(s) - MinRound(s); spread > 1 {
+			t.Fatalf("round spread %d > 1 at time %.0f", spread, s.Time())
+		}
+	}
+	if MaxRound(s) < 3 {
+		t.Errorf("clock advanced only to round %d after %.0f time units", MaxRound(s), s.Time())
+	}
+}
+
+// TestLeaderDrivenPhaseGrowth checks the Θ(log n) per-phase scaling of the
+// [9] clock: time to reach a fixed phase target grows roughly like log n.
+func TestLeaderDrivenPhaseGrowth(t *testing.T) {
+	const phases = 30
+	timeFor := func(n int) float64 {
+		var ld LeaderDriven
+		s := pop.New(n, ld.Initial, ld.Rule, pop.WithSeed(11))
+		ok, at := s.RunUntil(func(s *pop.Sim[LeaderState]) bool {
+			return LeaderPhase(s) >= phases
+		}, 1, 1e7)
+		if !ok {
+			t.Fatalf("n=%d: leader did not reach phase %d", n, phases)
+		}
+		return at
+	}
+	t256 := timeFor(256)
+	t4096 := timeFor(4096)
+	// log 4096 / log 256 = 1.5; allow a generous bracket around it.
+	ratio := t4096 / t256
+	if ratio < 1.1 || ratio > 2.6 {
+		t.Errorf("phase-time ratio (n=4096 vs 256) = %.2f, want ≈ 1.5 (Θ(log n) per phase)", ratio)
+	}
+}
+
+// TestLeaderDrivenSingleLeader: the rule never creates or destroys leaders.
+func TestLeaderDrivenSingleLeader(t *testing.T) {
+	var ld LeaderDriven
+	f := func(aPhase, bPhase uint16, aLead, bLead bool) bool {
+		a := LeaderState{Leader: aLead, Phase: uint32(aPhase)}
+		b := LeaderState{Leader: bLead, Phase: uint32(bPhase)}
+		ga, gb := ld.Rule(a, b, nil)
+		return ga.Leader == aLead && gb.Leader == bLead
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package clock
+
+import (
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// LeaderState is one agent of the leader-driven phase clock of Angluin,
+// Aspnes & Eisenstat [9] (monotone-phase formulation).
+type LeaderState struct {
+	// Leader marks the unique clock driver.
+	Leader bool
+	// Phase is the agent's current phase. Followers adopt the maximum
+	// phase they see; the leader advances from p to p+1 exactly when it
+	// meets a follower already at p.
+	Phase uint32
+}
+
+// LeaderDriven is the [9]-style phase clock. Each phase takes Θ(log n)
+// parallel time w.h.p.: after the leader advances to p, the set of
+// followers at p grows by epidemic and the leader advances again when its
+// random partner belongs to that set.
+type LeaderDriven struct{}
+
+// Initial places a leader at index 0 and followers elsewhere.
+func (LeaderDriven) Initial(i int, _ *rand.Rand) LeaderState {
+	return LeaderState{Leader: i == 0}
+}
+
+// Rule implements follower max-adoption and the leader advancement rule.
+// Both agents transition on the states observed *before* the interaction
+// (otherwise a follower that just synchronized would trigger the leader in
+// the same interaction, collapsing phases to O(1) duration).
+func (LeaderDriven) Rule(rec, sen LeaderState, _ *rand.Rand) (LeaderState, LeaderState) {
+	return advance(rec, sen), advance(sen, rec)
+}
+
+func advance(a, b LeaderState) LeaderState {
+	switch {
+	case a.Leader && !b.Leader && b.Phase == a.Phase:
+		a.Phase++
+	case a.Phase < b.Phase:
+		a.Phase = b.Phase
+	}
+	return a
+}
+
+// LeaderPhase returns the phase of the (first) leader agent.
+func LeaderPhase(s *pop.Sim[LeaderState]) uint32 {
+	for _, a := range s.Agents() {
+		if a.Leader {
+			return a.Phase
+		}
+	}
+	return 0
+}

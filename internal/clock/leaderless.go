@@ -1,0 +1,90 @@
+// Package clock implements the two phase-clock substrates of the paper:
+//
+//   - the uniform leaderless phase clock of Section 3.1/3.2 (each agent
+//     counts its own interactions against a threshold derived from the weak
+//     size estimate; round numbers synchronize by max-epidemic), and
+//   - the leader-driven phase clock of Angluin, Aspnes & Eisenstat [9] used
+//     by Theorem 3.13.
+//
+// Both are exposed as standalone reusable primitives (see
+// examples/phaseclock) and consumed by the composition framework.
+package clock
+
+import (
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// LeaderlessState is one agent of the leaderless phase clock.
+type LeaderlessState struct {
+	// Count is the number of interactions this agent has had in the
+	// current round.
+	Count uint32
+	// Round is the current round number. Rounds only increase.
+	Round uint32
+}
+
+// Leaderless is a leaderless phase clock with a fixed per-round interaction
+// threshold. The first agent whose count reaches the threshold begins the
+// next round; the new round number spreads by epidemic, resetting counts.
+//
+// Lemma 3.6 is the reason this is a clock: in C·ln n parallel time no agent
+// exceeds (2C+√(12C))·ln n interactions w.h.p., so a threshold of
+// Θ(log n) guarantees rounds of duration Θ(log n).
+type Leaderless struct {
+	// Threshold is the per-round interaction count (Θ(log n) for the
+	// paper's use; callers derive it from the weak size estimate).
+	Threshold uint32
+}
+
+// Initial returns the all-zero initial clock state.
+func (Leaderless) Initial(_ int, _ *rand.Rand) LeaderlessState { return LeaderlessState{} }
+
+// Rule advances both agents' clocks: counts increment, a count reaching the
+// threshold bumps the round, and the larger round wins (resetting the
+// adopter's count).
+func (c Leaderless) Rule(rec, sen LeaderlessState, _ *rand.Rand) (LeaderlessState, LeaderlessState) {
+	rec = c.tick(rec)
+	sen = c.tick(sen)
+	switch {
+	case rec.Round < sen.Round:
+		rec.Round = sen.Round
+		rec.Count = 0
+	case sen.Round < rec.Round:
+		sen.Round = rec.Round
+		sen.Count = 0
+	}
+	return rec, sen
+}
+
+func (c Leaderless) tick(a LeaderlessState) LeaderlessState {
+	a.Count++
+	if a.Count >= c.Threshold {
+		a.Round++
+		a.Count = 0
+	}
+	return a
+}
+
+// MinRound returns the smallest round among agents.
+func MinRound(s *pop.Sim[LeaderlessState]) uint32 {
+	m := ^uint32(0)
+	for _, a := range s.Agents() {
+		if a.Round < m {
+			m = a.Round
+		}
+	}
+	return m
+}
+
+// MaxRound returns the largest round among agents.
+func MaxRound(s *pop.Sim[LeaderlessState]) uint32 {
+	var m uint32
+	for _, a := range s.Agents() {
+		if a.Round > m {
+			m = a.Round
+		}
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// Converged reports the paper's Figure-2 convergence criterion plus output
+// delivery: every agent has a role, all agents agree on logSize2, every
+// agent has completed all K epochs, and every agent holds an output.
+func (p *Protocol) Converged(s *pop.Sim[State]) bool {
+	ags := s.Agents()
+	ls := ags[0].LogSize2
+	for _, a := range ags {
+		if a.Role == RoleX || a.LogSize2 != ls || !a.HasOutput {
+			return false
+		}
+		if uint32(a.Epoch) < p.cfg.EpochTarget(a.LogSize2) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConvergedEpoch reports the strict Figure-2 criterion from the paper's
+// caption: all agents have reached epoch = EpochFactor·logSize2 (with a
+// common logSize2), without requiring output delivery.
+func (p *Protocol) ConvergedEpoch(s *pop.Sim[State]) bool {
+	ags := s.Agents()
+	ls := ags[0].LogSize2
+	for _, a := range ags {
+		if a.Role == RoleX || a.LogSize2 != ls {
+			return false
+		}
+		if uint32(a.Epoch) < p.cfg.EpochTarget(a.LogSize2) {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateStats summarizes the outputs across a population.
+type EstimateStats struct {
+	// HaveOutput is the number of agents holding an output.
+	HaveOutput int
+	// Min and Max are the extreme per-agent estimates.
+	Min, Max float64
+	// Mean is the average per-agent estimate.
+	Mean float64
+	// MaxErr is the largest |estimate − log2 n| over agents with output.
+	MaxErr float64
+}
+
+// Estimates returns output statistics for the current configuration of s.
+func Estimates(s *pop.Sim[State]) EstimateStats {
+	logN := math.Log2(float64(s.N()))
+	st := EstimateStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, a := range s.Agents() {
+		est, ok := a.Estimate()
+		if !ok {
+			continue
+		}
+		st.HaveOutput++
+		sum += est
+		st.Min = math.Min(st.Min, est)
+		st.Max = math.Max(st.Max, est)
+		st.MaxErr = math.Max(st.MaxErr, math.Abs(est-logN))
+	}
+	if st.HaveOutput > 0 {
+		st.Mean = sum / float64(st.HaveOutput)
+	} else {
+		st.Min, st.Max = 0, 0
+	}
+	return st
+}
+
+// FieldMaxima records the largest value taken by each Protocol-1 field over
+// a configuration; the Lemma 3.9 state bound is the product of the live
+// field ranges.
+type FieldMaxima struct {
+	LogSize2 uint8
+	GR       uint8
+	Time     uint16
+	Epoch    uint16
+	Sum      uint32
+}
+
+// Maxima scans the configuration and returns per-field maxima.
+func Maxima(s *pop.Sim[State]) FieldMaxima {
+	var m FieldMaxima
+	for _, a := range s.Agents() {
+		m.LogSize2 = max(m.LogSize2, a.LogSize2)
+		m.GR = max(m.GR, a.GR)
+		m.Time = max(m.Time, a.Time)
+		m.Epoch = max(m.Epoch, a.Epoch)
+		m.Sum = max(m.Sum, a.Sum)
+	}
+	return m
+}
+
+// Result is the outcome of a single complete run of the protocol.
+type Result struct {
+	// N is the population size.
+	N int
+	// Converged reports whether the Converged predicate held before the
+	// time limit.
+	Converged bool
+	// Time is the parallel time at which convergence was detected (or the
+	// time limit).
+	Time float64
+	// Estimate is the mean per-agent estimate at the end of the run.
+	Estimate float64
+	// MaxErr is the largest |estimate − log2 n| over all agents.
+	MaxErr float64
+	// DistinctStates is the number of distinct states observed (0 unless
+	// state tracking was requested).
+	DistinctStates int
+	// CountA is the number of A-role agents at the end of the run.
+	CountA int
+	// LogSize2 is the common raw logSize2 value at the end of the run.
+	LogSize2 int
+}
+
+// RunOptions configures Run.
+type RunOptions struct {
+	// Seed seeds the simulation (default 0, still deterministic).
+	Seed uint64
+	// MaxTime bounds the run in parallel time; 0 selects a generous
+	// default that scales as log² n.
+	MaxTime float64
+	// CheckEvery is the convergence-check interval in parallel time
+	// (default: max(1, log n)).
+	CheckEvery float64
+	// TrackStates enables distinct-state counting.
+	TrackStates bool
+}
+
+// DefaultMaxTime returns a convergence-time budget that the protocol meets
+// with ample slack: c·(ClockFactor·EpochFactor)·(2·log n + bonus + 3)².
+func (p *Protocol) DefaultMaxTime(n int) float64 {
+	l := 2*math.Log2(float64(n)) + float64(p.cfg.GeomBonus) + 3
+	return 3 * float64(p.cfg.ClockFactor*p.cfg.EpochFactor) * l * l
+}
+
+// Run executes one complete trial on n agents and returns its Result.
+func (p *Protocol) Run(n int, o RunOptions) Result {
+	opts := []pop.Option{pop.WithSeed(o.Seed)}
+	if o.TrackStates {
+		opts = append(opts, pop.WithStateTracking())
+	}
+	s := pop.New(n, p.Initial, p.Rule, opts...)
+	maxTime := o.MaxTime
+	if maxTime <= 0 {
+		maxTime = p.DefaultMaxTime(n)
+	}
+	check := o.CheckEvery
+	if check <= 0 {
+		check = math.Max(1, math.Log2(float64(n)))
+	}
+	ok, at := s.RunUntil(p.Converged, check, maxTime)
+	est := Estimates(s)
+	return Result{
+		N:              n,
+		Converged:      ok,
+		Time:           at,
+		Estimate:       est.Mean,
+		MaxErr:         est.MaxErr,
+		DistinctStates: s.DistinctStates(),
+		CountA:         s.Count(func(a State) bool { return a.Role == RoleA }),
+		LogSize2:       int(s.Agent(0).LogSize2),
+	}
+}
+
+// NewSim constructs a ready-to-step simulator for the protocol, for callers
+// that need finer control than Run (experiments, examples).
+func (p *Protocol) NewSim(n int, opts ...pop.Option) *pop.Sim[State] {
+	return pop.New(n, p.Initial, p.Rule, opts...)
+}
+
+var _ = rand.Int // keep math/rand/v2 imported for doc references

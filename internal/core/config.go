@@ -1,0 +1,90 @@
+// Package core implements the paper's primary contribution: the uniform
+// leaderless Log-Size-Estimation population protocol (Doty & Eftekhari,
+// PODC 2019, Section 3.2, Protocols 1–9 and Theorem 3.1).
+//
+// Starting from a configuration in which every agent is in the identical
+// state, the protocol computes log n ± O(1) with high probability in
+// O(log² n) parallel time using O(log⁴ n) states. Agents partition into
+// worker (A) and storage (S) roles, generate a weak size estimate logSize2
+// as the maximum of ~n/2 geometric random variables, and then run
+// K = EpochFactor·L synchronized epochs (L = logSize2 + GeomBonus) of a
+// leaderless phase clock; each epoch generates one fresh maximum of
+// geometric random variables and accumulates it into the S agents' sum.
+// The final output is sum/K + 1.
+package core
+
+import "fmt"
+
+// Config holds the protocol's numeric constants. The paper's values come
+// from union-bound-safe tail inequalities; smaller values preserve the
+// protocol's asymptotic shape at far less simulation cost (see DESIGN.md
+// §2 and ablations A1/A2).
+type Config struct {
+	// ClockFactor is the per-epoch interaction threshold multiplier: an A
+	// agent ends its epoch after ClockFactor·L of its own interactions
+	// (the paper's 95, Subprotocol 6).
+	ClockFactor int
+
+	// EpochFactor determines the number of epochs K = EpochFactor·L (the
+	// paper's 5). Corollary D.10 requires K >= 4·log n for the 4.7
+	// additive Chernoff bound, which EpochFactor >= 4 guarantees via
+	// L >= log n − log ln n; smaller values trade error for speed.
+	EpochFactor int
+
+	// GeomBonus is added to the raw sampled maximum before use in any
+	// threshold (the paper's "+2" from Lemma 3.8, which compensates for
+	// only ~n/2 agents sampling).
+	GeomBonus int
+
+	// DisableRestart turns off the Restart subprotocol (ablation A3):
+	// agents adopt larger logSize2 values without resetting downstream
+	// state. The paper's correctness argument fails without restarts.
+	DisableRestart bool
+}
+
+// PaperConfig returns the constants exactly as in Protocol 1: threshold
+// 95·logSize2, K = 5·logSize2 epochs, +2 bonus.
+func PaperConfig() Config {
+	return Config{ClockFactor: 95, EpochFactor: 5, GeomBonus: 2}
+}
+
+// FastConfig returns reduced constants (16·L threshold, K = 2·L epochs)
+// that keep every epoch comfortably longer than the empirical epidemic +
+// interaction-concentration window while costing ~30× fewer interactions.
+// Tests and default experiment runs use this preset; EXPERIMENTS.md
+// reports paper-constant runs where feasible.
+func FastConfig() Config {
+	return Config{ClockFactor: 16, EpochFactor: 2, GeomBonus: 2}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.ClockFactor < 1 {
+		return fmt.Errorf("core: ClockFactor %d < 1", c.ClockFactor)
+	}
+	if c.EpochFactor < 1 {
+		return fmt.Errorf("core: EpochFactor %d < 1", c.EpochFactor)
+	}
+	if c.GeomBonus < 0 {
+		return fmt.Errorf("core: GeomBonus %d < 0", c.GeomBonus)
+	}
+	return nil
+}
+
+// effL returns the effective logSize2 value L = raw + GeomBonus used in all
+// thresholds.
+func (c Config) effL(raw uint8) uint32 {
+	return uint32(raw) + uint32(c.GeomBonus)
+}
+
+// Threshold returns the per-epoch interaction-count threshold
+// ClockFactor·L for an agent whose raw logSize2 field is raw.
+func (c Config) Threshold(raw uint8) uint32 {
+	return uint32(c.ClockFactor) * c.effL(raw)
+}
+
+// EpochTarget returns the total number of epochs K = EpochFactor·L for an
+// agent whose raw logSize2 field is raw.
+func (c Config) EpochTarget(raw uint8) uint32 {
+	return uint32(c.EpochFactor) * c.effL(raw)
+}

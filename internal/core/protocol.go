@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/prob"
+)
+
+// Protocol is the Log-Size-Estimation protocol with a fixed configuration.
+// Its Rule method is a pop.Rule[State]; a zero Protocol is not usable —
+// construct with New.
+type Protocol struct {
+	cfg Config
+}
+
+// New returns a Protocol with the given configuration.
+func New(cfg Config) (*Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Protocol{cfg: cfg}, nil
+}
+
+// MustNew is New, panicking on an invalid configuration. Intended for
+// package-level defaults and tests.
+func MustNew(cfg Config) *Protocol {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the protocol's configuration.
+func (p *Protocol) Config() Config { return p.cfg }
+
+// Initial returns the uniform initial state (all agents identical;
+// the protocol is leaderless).
+func (p *Protocol) Initial(_ int, _ *rand.Rand) State { return Initial() }
+
+// Rule is the randomized transition function of Protocol 1. The main-body
+// order follows the paper: Partition-Into-A/S; clock ticks with timer
+// check; Propagate-Max-Clock-Value (with Restart); role-pair interaction
+// (Propagate-Incremented-Epoch / Update-Sum / Propagate-Max-G.R.V.);
+// output propagation.
+func (p *Protocol) Rule(rec, sen State, r *rand.Rand) (State, State) {
+	rec, sen = p.partition(rec, sen, r)
+
+	// Leaderless phase clock: each A agent counts its own interactions.
+	if rec.Role == RoleA && !rec.Done {
+		rec.Time = satAdd16(rec.Time, 1)
+	}
+	if sen.Role == RoleA && !sen.Done {
+		sen.Time = satAdd16(sen.Time, 1)
+	}
+
+	rec, sen = p.propagateMaxClockValue(rec, sen, r)
+
+	switch {
+	case rec.Role == RoleA && sen.Role == RoleA:
+		rec, sen = p.pairAA(rec, sen, r)
+	case rec.Role == RoleS && sen.Role == RoleS:
+		rec, sen = pairSS(rec, sen)
+	case rec.Role == RoleA && sen.Role == RoleS:
+		rec, sen = p.pairAS(rec, sen, r)
+	case rec.Role == RoleS && sen.Role == RoleA:
+		sen, rec = p.pairAS(sen, rec, r)
+	}
+
+	rec = p.finalizeS(rec)
+	sen = p.finalizeS(sen)
+	rec, sen = propagateOutput(rec, sen)
+	return rec, sen
+}
+
+// partition implements Partition-Into-A/S (Subprotocol 2): two undecided
+// agents split into one A and one S; an undecided agent meeting a decided
+// one takes the opposite role (A,X → A,S and S,X → S,A), which converges in
+// O(log n) time at the cost of an O(√(n ln n)) deviation from n/2
+// (Lemma 3.2).
+func (p *Protocol) partition(rec, sen State, r *rand.Rand) (State, State) {
+	switch {
+	case rec.Role == RoleX && sen.Role == RoleX:
+		sen = p.becomeA(sen, r)
+		rec = becomeS(rec)
+	case sen.Role == RoleX:
+		if rec.Role == RoleA {
+			sen = becomeS(sen)
+		} else {
+			sen = p.becomeA(sen, r)
+		}
+	case rec.Role == RoleX:
+		if sen.Role == RoleA {
+			rec = becomeS(rec)
+		} else {
+			rec = p.becomeA(rec, r)
+		}
+	}
+	return rec, sen
+}
+
+func (p *Protocol) becomeA(ag State, r *rand.Rand) State {
+	ag.Role = RoleA
+	ag.LogSize2 = clampGeom(prob.Geometric(r)) // the agent's logSize2 sample
+	ag.GR = clampGeom(prob.Geometric(r))       // epoch-0 geometric random variable
+	return ag
+}
+
+func becomeS(ag State) State {
+	ag.Role = RoleS
+	return ag
+}
+
+// propagateMaxClockValue implements Subprotocol 3: the larger logSize2
+// spreads by epidemic; an agent that learns a larger value restarts its
+// entire downstream computation (Subprotocol 4).
+func (p *Protocol) propagateMaxClockValue(rec, sen State, r *rand.Rand) (State, State) {
+	switch {
+	case rec.LogSize2 < sen.LogSize2:
+		rec.LogSize2 = sen.LogSize2
+		rec = p.restart(rec, r)
+	case sen.LogSize2 < rec.LogSize2:
+		sen.LogSize2 = rec.LogSize2
+		sen = p.restart(sen, r)
+	}
+	return rec, sen
+}
+
+// restart implements Subprotocol 4, resetting every field downstream of
+// logSize2. With cfg.DisableRestart (ablation A3) it is a no-op.
+func (p *Protocol) restart(ag State, r *rand.Rand) State {
+	if p.cfg.DisableRestart {
+		return ag
+	}
+	ag.Time = 0
+	ag.Sum = 0
+	ag.Epoch = 0
+	ag.Done = false
+	ag.HasOutput = false
+	ag.OutSum = 0
+	ag.OutK = 0
+	if ag.Role == RoleA {
+		ag.GR = clampGeom(prob.Geometric(r))
+	}
+	return ag
+}
+
+// moveToNext implements Move-to-Next-G.R.V (Subprotocol 8): reset the epoch
+// clock and draw a fresh geometric random variable for the new epoch.
+func (p *Protocol) moveToNext(ag State, r *rand.Rand) State {
+	ag.Time = 0
+	ag.GR = clampGeom(prob.Geometric(r))
+	if uint32(ag.Epoch) >= p.cfg.EpochTarget(ag.LogSize2) {
+		ag.Done = true
+	}
+	return ag
+}
+
+// pairAA implements the A/A half of Propagate-Incremented-Epoch
+// (Subprotocol 7) followed by Propagate-Max-G.R.V. (Subprotocol 5), in the
+// paper's main-body order: epochs synchronize first, then same-epoch agents
+// exchange the running maximum.
+func (p *Protocol) pairAA(a, b State, r *rand.Rand) (State, State) {
+	switch {
+	case !a.Done && a.Epoch < b.Epoch:
+		a.Epoch = b.Epoch
+		a = p.moveToNext(a, r)
+	case !b.Done && b.Epoch < a.Epoch:
+		b.Epoch = a.Epoch
+		b = p.moveToNext(b, r)
+	}
+	if !a.Done && !b.Done && a.Epoch == b.Epoch {
+		if a.GR < b.GR {
+			a.GR = b.GR
+		} else if b.GR < a.GR {
+			b.GR = a.GR
+		}
+	}
+	return a, b
+}
+
+// pairSS implements the S/S half of Propagate-Incremented-Epoch: the agent
+// with the smaller epoch adopts the (epoch, sum) pair of the larger.
+func pairSS(a, b State) (State, State) {
+	switch {
+	case a.Epoch < b.Epoch:
+		a.Epoch = b.Epoch
+		a.Sum = b.Sum
+	case b.Epoch < a.Epoch:
+		b.Epoch = a.Epoch
+		b.Sum = a.Sum
+	}
+	return a, b
+}
+
+// pairAS implements Update-Sum (Subprotocol 9) under the resolution of
+// DESIGN.md deviation 1: an A agent whose epoch clock has expired hands its
+// gr to a same-epoch S agent (advancing both), and an A agent that meets an
+// S agent in a strictly later epoch catches up without contributing (its
+// epoch's maximum was already accumulated by an equal-value peer, w.h.p.).
+func (p *Protocol) pairAS(a, s State, r *rand.Rand) (State, State) {
+	if a.Done {
+		return a, s
+	}
+	switch {
+	case a.Epoch == s.Epoch && uint32(a.Time) >= p.cfg.Threshold(a.LogSize2):
+		s.Sum += uint32(a.GR)
+		s.Epoch++
+		a.Epoch++
+		a = p.moveToNext(a, r)
+	case a.Epoch < s.Epoch:
+		a.Epoch = s.Epoch
+		a = p.moveToNext(a, r)
+	}
+	return a, s
+}
+
+// finalizeS turns a storage agent that has accumulated all K epoch maxima
+// into an output source.
+func (p *Protocol) finalizeS(ag State) State {
+	if ag.Role != RoleS || ag.HasOutput {
+		return ag
+	}
+	if k := p.cfg.EpochTarget(ag.LogSize2); uint32(ag.Epoch) >= k {
+		ag.HasOutput = true
+		ag.OutSum = ag.Sum
+		ag.OutK = ag.Epoch
+	}
+	return ag
+}
+
+// propagateOutput spreads the final (OutSum, OutK) pair by epidemic. After
+// propagateMaxClockValue both agents agree on logSize2, so an output never
+// crosses a restart boundary.
+func propagateOutput(a, b State) (State, State) {
+	switch {
+	case a.HasOutput && !b.HasOutput:
+		b.HasOutput = true
+		b.OutSum = a.OutSum
+		b.OutK = a.OutK
+	case b.HasOutput && !a.HasOutput:
+		a.HasOutput = true
+		a.OutSum = b.OutSum
+		a.OutK = b.OutK
+	}
+	return a, b
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"paper", PaperConfig(), false},
+		{"fast", FastConfig(), false},
+		{"zero clock", Config{ClockFactor: 0, EpochFactor: 1}, true},
+		{"zero epoch", Config{ClockFactor: 1, EpochFactor: 0}, true},
+		{"negative bonus", Config{ClockFactor: 1, EpochFactor: 1, GeomBonus: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	cfg := PaperConfig()
+	if got, want := cfg.Threshold(10), uint32(95*12); got != want {
+		t.Errorf("Threshold(10) = %d, want %d", got, want)
+	}
+	if got, want := cfg.EpochTarget(10), uint32(5*12); got != want {
+		t.Errorf("EpochTarget(10) = %d, want %d", got, want)
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	s := Initial()
+	if s.Role != RoleX || s.LogSize2 != 1 || s.GR != 1 {
+		t.Errorf("Initial() = %+v, want role X, logSize2 1, gr 1", s)
+	}
+	if _, ok := s.Estimate(); ok {
+		t.Error("Initial() reports an estimate")
+	}
+}
+
+func TestEstimateArithmetic(t *testing.T) {
+	s := State{HasOutput: true, OutSum: 30, OutK: 4}
+	got, ok := s.Estimate()
+	if !ok || got != 30.0/4+1 {
+		t.Errorf("Estimate() = %v, %v; want 8.5, true", got, ok)
+	}
+	gi, ok := s.IntEstimate()
+	if !ok || gi != 8 {
+		t.Errorf("IntEstimate() = %v, %v; want 8, true", gi, ok)
+	}
+}
+
+// TestPartitionRoles checks that the population splits into A and S roles
+// quickly and nearly evenly (Lemma 3.2 / Corollary 3.3).
+func TestPartitionRoles(t *testing.T) {
+	p := MustNew(FastConfig())
+	const n = 2000
+	s := pop.New(n, p.Initial, p.Rule, pop.WithSeed(1))
+	s.RunTime(6 * math.Log2(n)) // O(log n) suffices per the paper
+
+	if x := s.Count(func(a State) bool { return a.Role == RoleX }); x != 0 {
+		t.Fatalf("%d agents still undecided after O(log n) time", x)
+	}
+	a := s.Count(func(a State) bool { return a.Role == RoleA })
+	// Corollary 3.3: n/3 <= |A| <= 2n/3 with overwhelming probability; in
+	// practice |A| is within O(sqrt(n ln n)) of n/2.
+	if a < n/3 || a > 2*n/3 {
+		t.Errorf("|A| = %d outside [n/3, 2n/3]", a)
+	}
+}
+
+// TestConvergenceSmall runs the full protocol end to end at modest sizes
+// and checks Theorem 3.1's correctness property with fast-preset slack.
+func TestConvergenceSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol runs are not short")
+	}
+	p := MustNew(FastConfig())
+	for _, n := range []int{64, 256, 1024} {
+		t.Run(sizeName(n), func(t *testing.T) {
+			res := p.Run(n, RunOptions{Seed: 42})
+			if !res.Converged {
+				t.Fatalf("did not converge within %.0f time units", p.DefaultMaxTime(n))
+			}
+			logN := math.Log2(float64(n))
+			if res.MaxErr > 6.7 {
+				t.Errorf("estimate %.2f misses log n = %.2f by %.2f > 6.7",
+					res.Estimate, logN, res.MaxErr)
+			}
+			// Convergence time should respect the O(log² n) shape with the
+			// preset's constants: ClockFactor·EpochFactor·(2 log n + 5)²
+			// is a loose cap.
+			l := 2*logN + 5
+			if cap := 2 * float64(p.cfg.ClockFactor*p.cfg.EpochFactor) * l * l; res.Time > cap {
+				t.Errorf("convergence time %.0f exceeds loose O(log² n) cap %.0f", res.Time, cap)
+			}
+		})
+	}
+}
+
+// TestRestartResets verifies Subprotocol 4: an agent that learns a larger
+// logSize2 loses all downstream progress.
+func TestRestartResets(t *testing.T) {
+	p := MustNew(PaperConfig())
+	low := State{Role: RoleA, LogSize2: 3, GR: 7, Time: 40, Epoch: 2, Done: true,
+		HasOutput: true, OutSum: 9, OutK: 3}
+	// The partner sits at epoch 0 so that the restarted agent does not
+	// immediately catch up to a later epoch within the same interaction.
+	high := State{Role: RoleS, LogSize2: 9, Epoch: 0, Sum: 0}
+	gotLow, gotHigh := p.Rule(low, high, testRand())
+	if gotLow.LogSize2 != 9 {
+		t.Fatalf("low agent did not adopt max logSize2: %+v", gotLow)
+	}
+	if gotLow.Time != 0 || gotLow.Epoch != 0 || gotLow.Done || gotLow.HasOutput {
+		t.Errorf("restart did not reset downstream state: %+v", gotLow)
+	}
+	if gotHigh.LogSize2 != 9 {
+		t.Errorf("high agent's logSize2 changed: %+v", gotHigh)
+	}
+}
+
+// TestNoRestartAblation verifies that DisableRestart keeps downstream
+// progress on a logSize2 update (ablation A3).
+func TestNoRestartAblation(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.DisableRestart = true
+	p := MustNew(cfg)
+	low := State{Role: RoleA, LogSize2: 3, GR: 7, Time: 40, Epoch: 2}
+	high := State{Role: RoleA, LogSize2: 9, GR: 1, Time: 1, Epoch: 2}
+	gotLow, _ := p.Rule(low, high, testRand())
+	if gotLow.LogSize2 != 9 {
+		t.Fatalf("low agent did not adopt max logSize2: %+v", gotLow)
+	}
+	if gotLow.Epoch != 2 {
+		t.Errorf("DisableRestart run reset epoch: %+v", gotLow)
+	}
+}
+
+// TestUpdateSumContribution checks the A→S handoff: an expired A agent
+// hands exactly its gr to a same-epoch S agent and both advance.
+func TestUpdateSumContribution(t *testing.T) {
+	p := MustNew(PaperConfig())
+	th := p.cfg.Threshold(5)
+	a := State{Role: RoleA, LogSize2: 5, GR: 9, Time: uint16(th), Epoch: 2}
+	s := State{Role: RoleS, LogSize2: 5, Epoch: 2, Sum: 11}
+	gotA, gotS := p.pairAS(a, s, testRand())
+	if gotS.Sum != 20 || gotS.Epoch != 3 {
+		t.Errorf("S after contribution = %+v, want sum 20, epoch 3", gotS)
+	}
+	if gotA.Epoch != 3 || gotA.Time != 0 {
+		t.Errorf("A after contribution = %+v, want epoch 3, time 0", gotA)
+	}
+}
+
+// TestCatchUp checks the no-contribution catch-up path.
+func TestCatchUp(t *testing.T) {
+	p := MustNew(PaperConfig())
+	a := State{Role: RoleA, LogSize2: 5, GR: 9, Time: 3, Epoch: 1}
+	s := State{Role: RoleS, LogSize2: 5, Epoch: 4, Sum: 30}
+	gotA, gotS := p.pairAS(a, s, testRand())
+	if gotS.Sum != 30 || gotS.Epoch != 4 {
+		t.Errorf("S changed on catch-up: %+v", gotS)
+	}
+	if gotA.Epoch != 4 || gotA.Time != 0 {
+		t.Errorf("A after catch-up = %+v, want epoch 4, time 0", gotA)
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000000:
+		return "n1M"
+	case n >= 1000:
+		return "n" + itoa(n/1000) + "k"
+	default:
+		return "n" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

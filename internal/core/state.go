@@ -1,0 +1,102 @@
+package core
+
+import "fmt"
+
+// Role identifies which sub-population an agent belongs to after the
+// Partition-Into-A/S subprotocol. All agents start as RoleX.
+type Role uint8
+
+// Roles. A agents run the clock and generate geometric random variables;
+// S agents store the running sum (the paper's space multiplexing).
+const (
+	RoleX Role = iota + 1 // undecided (initial)
+	RoleA                 // worker: clock, epochs, geometric maxima
+	RoleS                 // storage: accumulated sum of epoch maxima
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleX:
+		return "X"
+	case RoleA:
+		return "A"
+	case RoleS:
+		return "S"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// State is the full per-agent memory of the Log-Size-Estimation protocol:
+// exactly the fields of Protocol 1, plus the propagated output pair
+// (OutSum, OutK) that realizes "output ← sum/epoch + 1" for every agent
+// (DESIGN.md deviation 4).
+type State struct {
+	// Role is X until the Partition-Into-A/S subprotocol assigns A or S.
+	Role Role
+	// LogSize2 is the raw sampled maximum geometric value (the weak size
+	// estimate). Thresholds use the effective value LogSize2 + GeomBonus.
+	LogSize2 uint8
+	// GR is the agent's current-epoch geometric random variable (running
+	// maximum during the epoch). Meaningful only for role A.
+	GR uint8
+	// Time counts the agent's own interactions in the current epoch (the
+	// leaderless phase clock). Saturates rather than wrapping.
+	Time uint16
+	// Epoch is, for role A, the number of completed epochs; for role S,
+	// the number of epoch maxima accumulated into Sum.
+	Epoch uint16
+	// Sum is the accumulated sum of epoch maxima. Meaningful only for
+	// role S.
+	Sum uint32
+	// Done marks an A agent that has completed all K epochs.
+	Done bool
+	// HasOutput marks an agent that holds the final (OutSum, OutK) pair,
+	// originating at an S agent whose Epoch reached K and spreading by
+	// epidemic.
+	HasOutput bool
+	// OutSum and OutK are the propagated final sum and epoch count; the
+	// size estimate is OutSum/OutK + 1.
+	OutSum uint32
+	OutK   uint16
+}
+
+// Estimate returns the agent's size estimate OutSum/OutK + 1 (an estimate
+// of log2 n) and true, or 0 and false if the agent has no output yet.
+func (s State) Estimate() (float64, bool) {
+	if !s.HasOutput || s.OutK == 0 {
+		return 0, false
+	}
+	return float64(s.OutSum)/float64(s.OutK) + 1, true
+}
+
+// IntEstimate returns the integer size estimate ⌊OutSum/OutK⌋ + 1 ("stores
+// in each agent an integer k", Theorem 3.1) and true, or 0 and false if the
+// agent has no output yet.
+func (s State) IntEstimate() (int, bool) {
+	if !s.HasOutput || s.OutK == 0 {
+		return 0, false
+	}
+	return int(s.OutSum/uint32(s.OutK)) + 1, true
+}
+
+// Initial returns the uniform initial state of Protocol 1: no role,
+// logSize2 = 1, gr = 1, everything else zero.
+func Initial() State {
+	return State{Role: RoleX, LogSize2: 1, GR: 1}
+}
+
+func satAdd16(x uint16, d uint16) uint16 {
+	if x > ^uint16(0)-d {
+		return ^uint16(0)
+	}
+	return x + d
+}
+
+func clampGeom(g int) uint8 {
+	if g > 255 {
+		return 255
+	}
+	return uint8(g)
+}

@@ -1,0 +1,9 @@
+package core
+
+import "math/rand/v2"
+
+// testRand returns a deterministic random source for transition-level unit
+// tests.
+func testRand() *rand.Rand {
+	return rand.New(rand.NewPCG(7, 11))
+}

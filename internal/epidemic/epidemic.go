@@ -1,0 +1,78 @@
+// Package epidemic implements one-way epidemics — the max-propagation
+// primitive underlying every stage of the size-estimation protocol — and
+// the timing analysis of Lemma A.1 (full population) and Corollaries
+// 3.4/3.5 (subpopulation).
+//
+// An epidemic is the transition i, j → max(i, j), max(i, j) restricted to
+// one direction: the receiver adopts the sender's value when larger. In
+// O(log n) parallel time the maximum reaches every agent w.h.p.
+package epidemic
+
+import (
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// State is an epidemic agent: a value being max-propagated and a
+// subpopulation membership flag (for Corollary 3.4 experiments, only
+// members exchange values; non-members are inert spectators that still
+// consume scheduler picks).
+type State struct {
+	Val    int
+	Member bool
+}
+
+// Rule propagates the maximum value between two member agents. It ignores
+// its random source: epidemics are deterministic.
+func Rule(rec, sen State, _ *rand.Rand) (State, State) {
+	if rec.Member && sen.Member {
+		switch {
+		case rec.Val < sen.Val:
+			rec.Val = sen.Val
+		case sen.Val < rec.Val:
+			sen.Val = rec.Val
+		}
+	}
+	return rec, sen
+}
+
+// New constructs a population of n agents of which the first infected hold
+// value 1 and the rest 0, all members.
+func New(n, infected int, opts ...pop.Option) *pop.Sim[State] {
+	return pop.New(n, func(i int, _ *rand.Rand) State {
+		return State{Val: boolToInt(i < infected), Member: true}
+	}, Rule, opts...)
+}
+
+// NewSubpop constructs a population of n agents of which only the first
+// members belong to the epidemic subpopulation; the first infected of those
+// hold value 1. It models Corollary 3.4's epidemic among a = n/c agents.
+func NewSubpop(n, members, infected int, opts ...pop.Option) *pop.Sim[State] {
+	if infected > members || members > n {
+		panic("epidemic: need infected <= members <= n")
+	}
+	return pop.New(n, func(i int, _ *rand.Rand) State {
+		return State{Val: boolToInt(i < infected), Member: i < members}
+	}, Rule, opts...)
+}
+
+// Done reports whether every member agent holds the maximum (value 1 for
+// populations built by New/NewSubpop).
+func Done(s *pop.Sim[State]) bool {
+	return s.All(func(a State) bool { return !a.Member || a.Val == 1 })
+}
+
+// CompletionTime runs the epidemic to completion and returns the parallel
+// time it took. maxTime bounds the run; ok is false on timeout.
+func CompletionTime(s *pop.Sim[State], maxTime float64) (t float64, ok bool) {
+	done, at := s.RunUntil(Done, 0.25, maxTime)
+	return at, done
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

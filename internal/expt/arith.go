@@ -1,0 +1,42 @@
+package expt
+
+import (
+	"math"
+
+	"github.com/popsim/popsize/internal/arith"
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/stats"
+)
+
+// Arithmetic is E18: the introduction's efficient-vs-inefficient example —
+// x,q → y,y doubles in O(log n) while x,x → y,q halves in Θ(n).
+func Arithmetic(ns []int, trials int, seedBase uint64) stats.Table {
+	t := stats.Table{
+		Title: "E18: intro example — 2x in O(log n) vs ⌊x/2⌋ in Θ(n) (Section 1)",
+		Note:  "x = n/4 input agents in both protocols.",
+		Columns: []string{"n", "double mean time", "double/ln n", "halve mean time",
+			"halve/n", "ratio"},
+	}
+	for _, n := range ns {
+		dts := stats.ParallelTrials(trials, func(tr int) float64 {
+			s := arith.NewDouble(n, n/4, pop.WithSeed(seedBase+uint64(tr)*83))
+			at, ok := arith.CompletionTime(s, false, 1e6)
+			if !ok {
+				return math.NaN()
+			}
+			return at
+		})
+		hts := stats.ParallelTrials(trials, func(tr int) float64 {
+			s := arith.NewHalve(n, n/4, pop.WithSeed(seedBase+uint64(tr)*89))
+			at, ok := arith.CompletionTime(s, (n/4)%2 == 1, 1e8)
+			if !ok {
+				return math.NaN()
+			}
+			return at
+		})
+		ds, hs := stats.Summarize(dts), stats.Summarize(hts)
+		t.AddRow(stats.I(n), stats.F(ds.Mean), stats.F(ds.Mean/math.Log(float64(n))),
+			stats.F(hs.Mean), stats.F(hs.Mean/float64(n)), stats.F(hs.Mean/ds.Mean))
+	}
+	return t
+}

@@ -1,0 +1,73 @@
+package expt
+
+import (
+	"math"
+
+	"github.com/popsim/popsize/internal/approxsize"
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/exactcount"
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/stats"
+)
+
+// Baselines is E16: the accuracy/time trade among the [2]-style one-shot
+// maximum (O(log n) time, multiplicative error), the paper's protocol
+// (O(log² n) time, additive error), and [32]-style exact counting with a
+// leader (O(n log n) time, exact). The shape to reproduce: each step up in
+// accuracy costs roughly a multiplicative log n → n/log n factor in time.
+func Baselines(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	t := stats.Table{
+		Title: "E16: baselines — time vs accuracy",
+		Note: "[2]: k within [log n − log ln n, 2 log n] (multiplicative in log n). " +
+			"Main: |k − log n| <= 5.7 (additive). Exact count: k = log n exactly.",
+		Columns: []string{"n", "[2] time", "[2] k/log n", "main time", "main |err|",
+			"exact time", "exact correct"},
+	}
+	mp := core.MustNew(cfg)
+	ep := exactcount.New(0)
+	for _, n := range ns {
+		logN := math.Log2(float64(n))
+
+		ratios := make([]float64, trials)
+		apxTimes := stats.ParallelTrials(trials, func(tr int) float64 {
+			s := approxsize.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*61))
+			ok, at := s.RunUntil(approxsize.Converged, 1, 100*logN)
+			ratios[tr] = float64(s.Agent(0).K) / logN
+			if !ok {
+				return math.NaN()
+			}
+			return at
+		})
+
+		mainErrs := make([]float64, trials)
+		mainTimes := stats.ParallelTrials(trials, func(tr int) float64 {
+			r := mp.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*67})
+			mainErrs[tr] = r.MaxErr
+			return r.Time
+		})
+
+		correct := make([]bool, trials)
+		exactTimes := stats.ParallelTrials(trials, func(tr int) float64 {
+			s := ep.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*71))
+			ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
+			correct[tr] = exactcount.LeaderCount(s) == n
+			if !ok {
+				return math.NaN()
+			}
+			return at
+		})
+		nCorrect := 0
+		for _, c := range correct {
+			if c {
+				nCorrect++
+			}
+		}
+		at, rt := stats.Summarize(apxTimes), stats.Summarize(ratios)
+		mt, me := stats.Summarize(mainTimes), stats.Summarize(mainErrs)
+		et := stats.Summarize(exactTimes)
+		t.AddRow(stats.I(n), stats.F(at.Mean), stats.F(rt.Mean), stats.F(mt.Mean),
+			stats.F(me.Mean), stats.F(et.Mean),
+			stats.I(nCorrect)+"/"+stats.I(trials))
+	}
+	return t
+}

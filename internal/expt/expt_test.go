@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/synthcoin"
+)
+
+// The experiment generators are exercised end-to-end at tiny scale: every
+// table must render, carry one row per requested configuration, and agree
+// between its markdown and CSV forms.
+
+func checkTable(t *testing.T, tb interface {
+	Markdown() string
+	CSV() string
+}, wantRows int) {
+	t.Helper()
+	md := tb.Markdown()
+	if !strings.Contains(md, "|") {
+		t.Fatalf("markdown missing table: %q", md)
+	}
+	csv := tb.CSV()
+	gotRows := strings.Count(csv, "\n") - 1 // minus header
+	if gotRows != wantRows {
+		t.Errorf("CSV has %d data rows, want %d\n%s", gotRows, wantRows, csv)
+	}
+}
+
+func TestFig2Tiny(t *testing.T) {
+	res := Fig2(core.FastConfig(), []int{64, 128}, 2, 1)
+	checkTable(t, &res.Table, 2)
+	if len(res.Points) != 4 {
+		t.Errorf("points = %d, want 4", len(res.Points))
+	}
+}
+
+func TestProtocolExperimentsTiny(t *testing.T) {
+	cfg := core.FastConfig()
+	checkTable(t, ptr(ErrorDistribution(cfg, []int{64}, 2, 1)), 1)
+	checkTable(t, ptr(StateCount(cfg, []int{64}, 2, 1)), 1)
+	checkTable(t, ptr(Partition(cfg, []int{64, 128}, 2, 1)), 2)
+	checkTable(t, ptr(LogSize2Range(cfg, []int{64}, 2, 1)), 1)
+	checkTable(t, ptr(InteractionConcentration([]int{128}, 2, 1)), 1)
+}
+
+func TestSubstrateExperimentsTiny(t *testing.T) {
+	checkTable(t, ptr(Epidemic([]int{99}, 2, 1)), 1)
+	checkTable(t, ptr(MaxGeometric([]int{128}, 200, 1)), 1)
+	checkTable(t, ptr(SumOfMaxima([]int{128}, 50, 1)), 1)
+	checkTable(t, ptr(Depletion([]int{128}, 2, 1)), 1)
+}
+
+func TestTerminationExperimentsTiny(t *testing.T) {
+	cfg := core.FastConfig()
+	checkTable(t, ptr(Producibility([]int{256}, 2, 1)), 2) // two protocols × one n
+	checkTable(t, ptr(TerminationDense(cfg, []int{64}, 2, 1)), 1)
+	checkTable(t, ptr(LeaderTermination(cfg, []int{64}, 2, 1)), 1)
+}
+
+func TestVariantExperimentsTiny(t *testing.T) {
+	cfg := core.FastConfig()
+	checkTable(t, ptr(UpperBound(cfg, []int{32}, 2, 1)), 1)
+	checkTable(t, ptr(SyntheticCoin(cfg, synthcoin.FastConfig(), []int{64}, 2, 1)), 1)
+}
+
+func TestBaselineAndCompositionTiny(t *testing.T) {
+	cfg := core.FastConfig()
+	checkTable(t, ptr(Baselines(cfg, []int{64}, 2, 1)), 1)
+	checkTable(t, ptr(Composition(128, []float64{0.5}, 2, 1)), 2) // majority row + leader row
+}
+
+func TestAblationsTiny(t *testing.T) {
+	checkTable(t, ptr(AblationClockFactor(64, []int{8, 16}, 2, 1)), 2)
+	checkTable(t, ptr(AblationEpochFactor(64, []int{1, 2}, 2, 1)), 2)
+	checkTable(t, ptr(AblationNoRestart(64, 2, 1)), 2)
+}
+
+func ptr[T any](t T) *T { return &t }

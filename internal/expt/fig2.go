@@ -1,0 +1,67 @@
+// Package expt defines the experiment generators behind DESIGN.md's
+// per-experiment index (F2, E1–E17, A1–A3). Each generator returns a
+// stats.Table; cmd/experiments renders them to markdown/CSV and the root
+// benchmarks re-run them at reduced scale.
+package expt
+
+import (
+	"math"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/stats"
+)
+
+// Fig2Result carries the Figure 2 reproduction data: per-trial convergence
+// times plus the rendered table and scatter points.
+type Fig2Result struct {
+	Table  stats.Table
+	Points []stats.Point
+}
+
+// Fig2 reproduces Figure 2: convergence time of Log-Size-Estimation vs
+// population size, `trials` runs per size. Convergence follows the paper's
+// caption (all agents reach epoch = K) plus output delivery, and the
+// per-trial estimate error is recorded alongside (the caption's "in
+// practice the estimate is always within 2").
+func Fig2(cfg core.Config, ns []int, trials int, seedBase uint64) Fig2Result {
+	p := core.MustNew(cfg)
+	res := Fig2Result{
+		Table: stats.Table{
+			Title: "F2: Figure 2 — convergence time vs population size",
+			Note: "Convergence = all agents reach epoch = K with a common logSize2 and hold " +
+				"an output. Parallel time units (interactions/n).",
+			Columns: []string{"n", "log2 n", "trials", "time mean", "time min", "time max",
+				"time/log² n", "max |err|", "errs > 2"},
+		},
+	}
+	for _, n := range ns {
+		times := make([]float64, trials)
+		errs := make([]float64, trials)
+		rts := stats.ParallelTrials(trials, func(t int) float64 {
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(t)*1001})
+			errs[t] = r.MaxErr
+			if !r.Converged {
+				return math.NaN()
+			}
+			return r.Time
+		})
+		copy(times, rts)
+		over2 := 0
+		maxErr := 0.0
+		for _, e := range errs {
+			if e > 2 {
+				over2++
+			}
+			maxErr = math.Max(maxErr, e)
+		}
+		sum := stats.Summarize(times)
+		logN := math.Log2(float64(n))
+		res.Table.AddRow(stats.I(n), stats.F(logN), stats.I(trials),
+			stats.F(sum.Mean), stats.F(sum.Min), stats.F(sum.Max),
+			stats.F(sum.Mean/(logN*logN)), stats.F(maxErr), stats.I(over2))
+		for _, t := range times {
+			res.Points = append(res.Points, stats.Point{X: float64(n), Y: t})
+		}
+	}
+	return res
+}

@@ -1,0 +1,269 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/prob"
+	"github.com/popsim/popsize/internal/stats"
+)
+
+// ErrorDistribution is E1: the additive-error distribution of the main
+// protocol vs Theorem 3.1's |k − log n| <= 5.7 with failure probability
+// 9/n.
+func ErrorDistribution(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	p := core.MustNew(cfg)
+	t := stats.Table{
+		Title: "E1: additive error |k − log n| (Theorem 3.1: <= 5.7 w.p. >= 1 − 9/n)",
+		Columns: []string{"n", "trials", "err mean", "err q90", "err max",
+			"> 5.7", "bound 9/n × trials"},
+	}
+	for _, n := range ns {
+		errs := stats.ParallelTrials(trials, func(tr int) float64 {
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*7919})
+			return r.MaxErr
+		})
+		over := 0
+		for _, e := range errs {
+			if e > prob.MainErrorBound {
+				over++
+			}
+		}
+		s := stats.Summarize(errs)
+		t.AddRow(stats.I(n), stats.I(trials), stats.F(s.Mean), stats.F(s.Q90),
+			stats.F(s.Max), stats.I(over),
+			stats.F(prob.MainErrorFailureProb(n)*float64(trials)))
+	}
+	return t
+}
+
+// StateCount is E3: distinct states used per execution vs Lemma 3.9's
+// O(log⁴ n), plus per-field maxima vs the lemma's table.
+func StateCount(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	p := core.MustNew(cfg)
+	t := stats.Table{
+		Title: "E3: state complexity (Lemma 3.9: O(log⁴ n) states w.h.p.)",
+		Note: "states/log⁴n should stay bounded as n grows. Field maxima " +
+			"correspond to Lemma 3.9's per-field ranges (constants scale with the preset).",
+		Columns: []string{"n", "distinct states (mean)", "states/log⁴ n",
+			"max logSize2", "max gr", "max time", "max epoch", "max sum"},
+	}
+	for _, n := range ns {
+		maxima := make([]core.FieldMaxima, trials)
+		counts := stats.ParallelTrials(trials, func(tr int) float64 {
+			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*53), pop.WithStateTracking())
+			// Sample field maxima along the run (a converged snapshot has
+			// all clocks reset, which would under-report the time field).
+			var fm core.FieldMaxima
+			ok := false
+			deadline := p.DefaultMaxTime(n)
+			for s.Time() < deadline {
+				s.RunTime(math.Log2(float64(n)))
+				m := core.Maxima(s)
+				fm.LogSize2 = max(fm.LogSize2, m.LogSize2)
+				fm.GR = max(fm.GR, m.GR)
+				fm.Time = max(fm.Time, m.Time)
+				fm.Epoch = max(fm.Epoch, m.Epoch)
+				fm.Sum = max(fm.Sum, m.Sum)
+				if p.Converged(s) {
+					ok = true
+					break
+				}
+			}
+			maxima[tr] = fm
+			if !ok {
+				return math.NaN()
+			}
+			return float64(s.DistinctStates())
+		})
+		var fm core.FieldMaxima
+		for _, m := range maxima {
+			fm.LogSize2 = max(fm.LogSize2, m.LogSize2)
+			fm.GR = max(fm.GR, m.GR)
+			fm.Time = max(fm.Time, m.Time)
+			fm.Epoch = max(fm.Epoch, m.Epoch)
+			fm.Sum = max(fm.Sum, m.Sum)
+		}
+		s := stats.Summarize(counts)
+		l4 := math.Pow(math.Log2(float64(n)), 4)
+		t.AddRow(stats.I(n), stats.F(s.Mean), stats.F(s.Mean/l4),
+			stats.I(int(fm.LogSize2)), stats.I(int(fm.GR)), stats.I(int(fm.Time)),
+			stats.I(int(fm.Epoch)), stats.I(int(fm.Sum)))
+	}
+	return t
+}
+
+// Partition is E4: the |A| ≈ n/2 concentration of Lemma 3.2/Corollary 3.3.
+func Partition(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	p := core.MustNew(cfg)
+	t := stats.Table{
+		Title:   "E4: partition balance (Lemma 3.2: |#A − n/2| <= a w.p. >= 1 − 2e^(−2a²/n))",
+		Columns: []string{"n", "trials", "mean |dev|", "max |dev|", "√(n ln n)", "beyond √(n ln n)"},
+	}
+	for _, n := range ns {
+		devs := stats.ParallelTrials(trials, func(tr int) float64 {
+			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*131))
+			s.RunTime(8 * math.Log2(float64(n)))
+			a := s.Count(func(st core.State) bool { return st.Role == core.RoleA })
+			return math.Abs(float64(a) - float64(n)/2)
+		})
+		bound := math.Sqrt(float64(n) * math.Log(float64(n)))
+		over := 0
+		for _, d := range devs {
+			if d > bound {
+				over++
+			}
+		}
+		s := stats.Summarize(devs)
+		t.AddRow(stats.I(n), stats.I(trials), stats.F(s.Mean), stats.F(s.Max),
+			stats.F(bound), stats.I(over))
+	}
+	return t
+}
+
+// LogSize2Range is E5: the weak estimate's Lemma 3.8 interval
+// [log n − log ln n, 2 log n + 1], plus Corollary A.2's gr interval.
+func LogSize2Range(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	p := core.MustNew(cfg)
+	t := stats.Table{
+		Title:   "E5: logSize2 range (Lemma 3.8) — effective value = raw + bonus",
+		Columns: []string{"n", "lo bound", "hi bound", "min seen", "max seen", "outside"},
+	}
+	for _, n := range ns {
+		lo, hi := prob.LogSize2Interval(n)
+		vals := stats.ParallelTrials(trials, func(tr int) float64 {
+			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*977))
+			s.RunTime(10 * math.Log2(float64(n)))
+			return float64(s.Agent(0).LogSize2 + uint8(cfg.GeomBonus))
+		})
+		outside := 0
+		for _, v := range vals {
+			if v < lo || v > hi {
+				outside++
+			}
+		}
+		s := stats.Summarize(vals)
+		t.AddRow(stats.I(n), stats.F(lo), stats.F(hi), stats.F(s.Min), stats.F(s.Max),
+			stats.I(outside))
+	}
+	return t
+}
+
+// InteractionConcentration is E7: Lemma 3.6 — in C·ln n time no agent has
+// more than D·ln n = (2C+√12C)·ln n interactions, w.p. >= 1 − 1/n.
+func InteractionConcentration(ns []int, trials int, seedBase uint64) stats.Table {
+	const c = 3.0
+	d := prob.InteractionCountD(c)
+	t := stats.Table{
+		Title:   fmt.Sprintf("E7: interaction concentration (Lemma 3.6, C = %.0f, D = %.2f)", c, d),
+		Columns: []string{"n", "trials", "window C·ln n", "max count seen", "bound D·ln n", "violations"},
+	}
+	for _, n := range ns {
+		window := c * math.Log(float64(n))
+		bound := d * math.Log(float64(n))
+		maxes := stats.ParallelTrials(trials, func(tr int) float64 {
+			s := pop.New(n, func(int, *rand.Rand) struct{} { return struct{}{} },
+				func(a, b struct{}, _ *rand.Rand) (struct{}, struct{}) { return a, b },
+				pop.WithSeed(seedBase+uint64(tr)*389), pop.WithInteractionCounts())
+			s.RunTime(window)
+			return float64(s.MaxInteractionCount())
+		})
+		viol := 0
+		for _, m := range maxes {
+			if m > bound {
+				viol++
+			}
+		}
+		s := stats.Summarize(maxes)
+		t.AddRow(stats.I(n), stats.I(trials), stats.F(window), stats.F(s.Max),
+			stats.F(bound), stats.I(viol))
+	}
+	return t
+}
+
+// AblationClockFactor is A1: sweep the per-epoch threshold multiplier.
+func AblationClockFactor(n int, factors []int, trials int, seedBase uint64) stats.Table {
+	t := stats.Table{
+		Title: fmt.Sprintf("A1: clock-factor ablation at n = %d (paper: 95)", n),
+		Note: "Small factors end epochs before the max-gr epidemic completes, " +
+			"inflating error; large factors only cost time.",
+		Columns: []string{"clock factor", "err mean", "err max", "time mean"},
+	}
+	for _, f := range factors {
+		cfg := core.FastConfig()
+		cfg.ClockFactor = f
+		p := core.MustNew(cfg)
+		errs := make([]float64, trials)
+		times := stats.ParallelTrials(trials, func(tr int) float64 {
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*17})
+			errs[tr] = r.MaxErr
+			return r.Time
+		})
+		es, ts := stats.Summarize(errs), stats.Summarize(times)
+		t.AddRow(stats.I(f), stats.F(es.Mean), stats.F(es.Max), stats.F(ts.Mean))
+	}
+	return t
+}
+
+// AblationEpochFactor is A2: sweep K = factor·L against Corollary D.10's
+// K >= 4·log n requirement.
+func AblationEpochFactor(n int, factors []int, trials int, seedBase uint64) stats.Table {
+	t := stats.Table{
+		Title: fmt.Sprintf("A2: epoch-factor ablation at n = %d (paper: 5; Cor D.10 needs K >= 4 log n)", n),
+		Note: "Fewer epochs mean fewer samples in the average: error variance grows " +
+			"as the factor shrinks.",
+		Columns: []string{"epoch factor", "K (typ.)", "err mean", "err std", "time mean"},
+	}
+	for _, f := range factors {
+		cfg := core.FastConfig()
+		cfg.EpochFactor = f
+		p := core.MustNew(cfg)
+		errs := make([]float64, trials)
+		ks := make([]float64, trials)
+		times := stats.ParallelTrials(trials, func(tr int) float64 {
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*29})
+			errs[tr] = r.MaxErr
+			ks[tr] = float64(cfg.EpochTarget(uint8(r.LogSize2)))
+			return r.Time
+		})
+		es, ts, kss := stats.Summarize(errs), stats.Summarize(times), stats.Summarize(ks)
+		t.AddRow(stats.I(f), stats.F(kss.Mean), stats.F(es.Mean), stats.F(es.Std), stats.F(ts.Mean))
+	}
+	return t
+}
+
+// AblationNoRestart is A3: disable the restart scheme and show the error
+// blow-up (agents keep progress made under stale, too-small estimates).
+func AblationNoRestart(n int, trials int, seedBase uint64) stats.Table {
+	t := stats.Table{
+		Title:   fmt.Sprintf("A3: restart-scheme ablation at n = %d", n),
+		Columns: []string{"restart", "err mean", "err max", "converged"},
+	}
+	for _, disable := range []bool{false, true} {
+		cfg := core.FastConfig()
+		cfg.DisableRestart = disable
+		p := core.MustNew(cfg)
+		converged := make([]bool, trials)
+		errs := stats.ParallelTrials(trials, func(tr int) float64 {
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*43})
+			converged[tr] = r.Converged
+			return r.MaxErr
+		})
+		conv := 0
+		for _, c := range converged {
+			if c {
+				conv++
+			}
+		}
+		s := stats.Summarize(errs)
+		label := "on"
+		if disable {
+			label = "off"
+		}
+		t.AddRow(label, stats.F(s.Mean), stats.F(s.Max), fmt.Sprintf("%d/%d", conv, trials))
+	}
+	return t
+}

@@ -1,0 +1,96 @@
+// Package leaderelect implements a nonuniform level-based leader-election
+// protocol ([29]-style junta election): in each stage every surviving
+// candidate draws a fresh geometric level, the population max-propagates
+// the stage's level, and candidates below the maximum drop out. A
+// coin-flip tiebreak between meeting candidates guarantees eventual
+// uniqueness with probability 1 while never eliminating the last candidate.
+//
+// The protocol needs Θ(log n) stages — the nonuniform ingredient — so it is
+// the second downstream client of internal/compose (experiment E17).
+package leaderelect
+
+import (
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/compose"
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/prob"
+)
+
+// State is one agent of the leader-election protocol.
+type State struct {
+	// Candidate marks an agent still in the running.
+	Candidate bool
+	// Lvl is the candidate's current-stage geometric level.
+	Lvl uint8
+	// MaxSeen is the largest level observed this stage (relayed by
+	// everyone, candidate or not).
+	MaxSeen uint8
+}
+
+// Initial returns a fresh candidate with a level drawn for stage 0.
+func Initial(_ int, r *rand.Rand) State {
+	l := sample(r)
+	return State{Candidate: true, Lvl: l, MaxSeen: l}
+}
+
+// Transition relays the stage maximum, eliminates dominated candidates,
+// and breaks exact ties by coin flip (receiver drops), which can never
+// eliminate the final candidate.
+func Transition(rec, sen State, _, _ int, r *rand.Rand) (State, State) {
+	m := max(rec.MaxSeen, sen.MaxSeen)
+	rec.MaxSeen, sen.MaxSeen = m, m
+	rec = eliminate(rec)
+	sen = eliminate(sen)
+	if rec.Candidate && sen.Candidate && rec.Lvl == sen.Lvl && r.IntN(2) == 0 {
+		rec.Candidate = false
+	}
+	return rec, sen
+}
+
+func eliminate(a State) State {
+	if a.Candidate && a.Lvl < a.MaxSeen {
+		a.Candidate = false
+	}
+	return a
+}
+
+// OnStage begins a new stage: candidates redraw their level; everyone's
+// MaxSeen resets to their own contribution.
+func OnStage(a State, _, _ int, r *rand.Rand) State {
+	if a.Candidate {
+		a.Lvl = sample(r)
+		a.MaxSeen = a.Lvl
+	} else {
+		a.Lvl = 0
+		a.MaxSeen = 0
+	}
+	return a
+}
+
+// Reset restores the agent to a fresh candidate (composition restart).
+func Reset(_ State, r *rand.Rand) State { return Initial(0, r) }
+
+// Downstream packages the protocol for internal/compose with K = s stages.
+func Downstream() compose.Downstream[State] {
+	return compose.Downstream[State]{
+		Init:       Initial,
+		Transition: Transition,
+		OnStage:    OnStage,
+		Reset:      Reset,
+		Stages:     func(sEst int) int { return sEst },
+	}
+}
+
+// Candidates counts surviving candidates in a composed simulation.
+func Candidates(s *pop.Sim[compose.State[State]]) int {
+	return s.Count(func(a compose.State[State]) bool { return a.D.Candidate })
+}
+
+func sample(r *rand.Rand) uint8 {
+	g := prob.Geometric(r)
+	if g > 255 {
+		g = 255
+	}
+	return uint8(g)
+}

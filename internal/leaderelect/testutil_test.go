@@ -1,0 +1,7 @@
+package leaderelect
+
+import "math/rand/v2"
+
+func testRandFor() *rand.Rand {
+	return rand.New(rand.NewPCG(51, 52))
+}

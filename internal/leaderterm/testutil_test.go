@@ -1,0 +1,7 @@
+package leaderterm
+
+import "math/rand/v2"
+
+func testRand() *rand.Rand {
+	return rand.New(rand.NewPCG(31, 32))
+}

@@ -1,0 +1,143 @@
+// Package majority implements a nonuniform phased cancel/split exact
+// majority protocol in the style the paper's introduction motivates
+// ([2, 15]-style: such protocols hard-code ⌊log n⌋, and uniformizing them
+// is the reason size estimation matters). Composed with the weak size
+// estimate via internal/compose, it becomes a uniform majority protocol
+// (experiment E17, examples/uniformmajority).
+//
+// Agents carry a signed token of weight 2^−Level (or a blank). At equal
+// levels opposite tokens cancel to blanks — preserving the signed weight
+// sum. In stage j, tokens at levels below min(j, cap) split using a blank
+// into two tokens one level down — also weight-preserving. The level cap
+// is the size estimate s (so minimum token weight <= 1/n and the initial
+// margin cannot vanish); after K = s stages the surviving sign is, w.h.p.
+// for clear margins, the exact majority, and blanks learn it through the
+// Output field.
+package majority
+
+import (
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/compose"
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// State is one agent of the (nonuniform) majority protocol.
+type State struct {
+	// Input is the agent's immutable opinion: +1 or −1.
+	Input int8
+	// Sign is the current token sign: +1, −1, or 0 (blank).
+	Sign int8
+	// Level is the token's level: weight 2^−Level.
+	Level uint8
+	// Output is the agent's current belief about the majority sign.
+	Output int8
+}
+
+// Initial returns the state for an agent with the given opinion.
+func Initial(opinion int8) State {
+	return State{Input: opinion, Sign: opinion, Output: opinion}
+}
+
+// Transition runs one majority interaction with the given stage and size
+// estimate (the two nonuniform inputs).
+func Transition(rec, sen State, stage, sEst int, _ *rand.Rand) (State, State) {
+	capLevel := levelCap(stage, sEst)
+
+	switch {
+	// Cancellation: equal level, opposite signs.
+	case rec.Sign != 0 && sen.Sign == -rec.Sign && rec.Level == sen.Level:
+		rec.Sign, sen.Sign = 0, 0
+	// Split: a token below the allowed level uses a blank.
+	case rec.Sign != 0 && sen.Sign == 0 && int(rec.Level) < capLevel:
+		rec.Level++
+		sen.Sign = rec.Sign
+		sen.Level = rec.Level
+	case sen.Sign != 0 && rec.Sign == 0 && int(sen.Level) < capLevel:
+		sen.Level++
+		rec.Sign = sen.Sign
+		rec.Level = sen.Level
+	}
+
+	rec, sen = updateOutputs(rec, sen)
+	return rec, sen
+}
+
+// levelCap bounds token levels: they may rise one level per stage, up to
+// the size estimate (weight >= 2^−s, so the worst-case margin of one token
+// remains representable).
+func levelCap(stage, sEst int) int {
+	if stage < sEst {
+		return stage
+	}
+	return sEst
+}
+
+func updateOutputs(a, b State) (State, State) {
+	if a.Sign != 0 {
+		a.Output = a.Sign
+	}
+	if b.Sign != 0 {
+		b.Output = b.Sign
+	}
+	// Blanks adopt the belief of token-holders; between two blanks the
+	// receiver adopts, keeping beliefs flowing.
+	switch {
+	case a.Sign == 0 && b.Sign != 0:
+		a.Output = b.Sign
+	case b.Sign == 0 && a.Sign != 0:
+		b.Output = a.Sign
+	case a.Sign == 0 && b.Sign == 0 && b.Output != 0:
+		a.Output = b.Output
+	}
+	return a, b
+}
+
+// Reset restores the agent to its initial opinion (the composition
+// framework's full-restart hook).
+func Reset(s State, _ *rand.Rand) State { return Initial(s.Input) }
+
+// Downstream packages the protocol for internal/compose. Stage count is
+// K = s + 2: levels unlock one per stage up to the cap s, plus slack for
+// the final cancellations and output spread.
+func Downstream(opinions []int8) compose.Downstream[State] {
+	return compose.Downstream[State]{
+		Init: func(i int, _ *rand.Rand) State {
+			return Initial(opinions[i%len(opinions)])
+		},
+		Transition: Transition,
+		OnStage:    func(d State, _, _ int, _ *rand.Rand) State { return d },
+		Reset:      Reset,
+		Stages:     func(sEst int) int { return sEst + 2 },
+	}
+}
+
+// SignedWeightNumerator returns the conserved quantity Σ Sign·2^(cap−Level)
+// over the configuration, scaled to integers with the given cap (Level
+// must never exceed cap). Cancellation and splitting preserve it exactly;
+// tests rely on this invariant.
+func SignedWeightNumerator(agents []State, cap uint8) int64 {
+	var sum int64
+	for _, a := range agents {
+		if a.Sign == 0 {
+			continue
+		}
+		sum += int64(a.Sign) * (int64(1) << (cap - a.Level))
+	}
+	return sum
+}
+
+// Outputs tallies the current Output beliefs.
+func Outputs(s *pop.Sim[compose.State[State]]) (plus, minus, undecided int) {
+	for _, a := range s.Agents() {
+		switch a.D.Output {
+		case 1:
+			plus++
+		case -1:
+			minus++
+		default:
+			undecided++
+		}
+	}
+	return plus, minus, undecided
+}

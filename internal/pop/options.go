@@ -1,0 +1,31 @@
+package pop
+
+type options struct {
+	seed              uint64
+	trackStates       bool
+	trackInteractions bool
+}
+
+// Option configures a Sim at construction time.
+type Option func(*options)
+
+// WithSeed makes the simulation deterministic: the same seed, population
+// size, initializer and rule produce the identical execution.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithStateTracking records every distinct state that appears during the
+// execution, enabling DistinctStates — the paper's state-complexity measure
+// (Lemma 3.9: O(log⁴ n) states w.h.p.). Tracking costs two map insertions
+// per interaction; leave it off for timing experiments.
+func WithStateTracking() Option {
+	return func(o *options) { o.trackStates = true }
+}
+
+// WithInteractionCounts records how many interactions each agent has
+// participated in, enabling InteractionCount and MaxInteractionCount
+// (Lemma 3.6 / Corollary 3.7 experiments).
+func WithInteractionCounts() Option {
+	return func(o *options) { o.trackInteractions = true }
+}

@@ -1,0 +1,234 @@
+// Package pop implements the population-protocol execution model of
+// Doty & Eftekhari (PODC 2019), Section 2: a population of n anonymous
+// agents, a uniformly random scheduler that repeatedly selects an ordered
+// pair of distinct agents (receiver, sender), and parallel time measured as
+// interactions divided by n.
+//
+// The engine is generic over the agent state type S, which must be
+// comparable so that configurations (multisets of states) and the number of
+// distinct states used by an execution — the paper's space measure — can be
+// tracked with maps.
+package pop
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Rule is a randomized transition function δ ⊆ Λ⁴: given the states of the
+// receiver and sender (each agent observes the other's full state) and a
+// source of uniformly random bits, it returns their successor states.
+//
+// Deterministic protocols (such as the synthetic-coin variant of Appendix B)
+// simply ignore the random source; the scheduler's receiver/sender order is
+// itself uniformly random and may be used as a fair coin.
+type Rule[S comparable] func(rec, sen S, r *rand.Rand) (recOut, senOut S)
+
+// Sim executes a population protocol under the uniformly random pairwise
+// scheduler. It is not safe for concurrent use; run independent trials on
+// independent Sim values.
+type Sim[S comparable] struct {
+	rng          *rand.Rand
+	agents       []S
+	rule         Rule[S]
+	interactions int64
+
+	seen    map[S]struct{} // non-nil iff state tracking enabled
+	icounts []int64        // non-nil iff per-agent interaction counting enabled
+}
+
+// New constructs a simulator for a population of n agents whose i'th agent
+// starts in initial(i, rng). For a uniform leaderless protocol, initial
+// ignores i (all agents start identically); index-dependent initialization
+// supports inputs (e.g. majority opinions) and initial leaders.
+func New[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rule[S], opts ...Option) *Sim[S] {
+	if n < 2 {
+		panic(fmt.Sprintf("pop: population size %d < 2", n))
+	}
+	if rule == nil {
+		panic("pop: nil rule")
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	rng := rand.New(rand.NewPCG(o.seed, o.seed^0x9e3779b97f4a7c15))
+	agents := make([]S, n)
+	for i := range agents {
+		agents[i] = initial(i, rng)
+	}
+	s := &Sim[S]{rng: rng, agents: agents, rule: rule}
+	if o.trackStates {
+		s.seen = make(map[S]struct{}, 64)
+		for _, a := range agents {
+			s.seen[a] = struct{}{}
+		}
+	}
+	if o.trackInteractions {
+		s.icounts = make([]int64, n)
+	}
+	return s
+}
+
+// NewFromConfig constructs a simulator whose initial configuration is an
+// explicit slice of agent states (copied). It is used by the termination
+// and producibility experiments, which need α-dense or leader-containing
+// initial configurations.
+func NewFromConfig[S comparable](agents []S, rule Rule[S], opts ...Option) *Sim[S] {
+	cp := make([]S, len(agents))
+	copy(cp, agents)
+	return New(len(cp), func(i int, _ *rand.Rand) S { return cp[i] }, rule, opts...)
+}
+
+// N returns the population size.
+func (s *Sim[S]) N() int { return len(s.agents) }
+
+// Interactions returns the number of interactions executed so far.
+func (s *Sim[S]) Interactions() int64 { return s.interactions }
+
+// Time returns the parallel time elapsed: interactions / n.
+func (s *Sim[S]) Time() float64 {
+	return float64(s.interactions) / float64(len(s.agents))
+}
+
+// Agent returns the current state of agent i.
+func (s *Sim[S]) Agent(i int) S { return s.agents[i] }
+
+// Snapshot returns a copy of the current configuration as a state slice.
+func (s *Sim[S]) Snapshot() []S {
+	cp := make([]S, len(s.agents))
+	copy(cp, s.agents)
+	return cp
+}
+
+// Agents exposes the live agent slice for read-only scanning by convergence
+// predicates. Callers must not mutate it; use Snapshot for a safe copy.
+func (s *Sim[S]) Agents() []S { return s.agents }
+
+// Counts returns the configuration vector: the multiset of states present,
+// as a map from state to count.
+func (s *Sim[S]) Counts() map[S]int {
+	c := make(map[S]int, 64)
+	for _, a := range s.agents {
+		c[a]++
+	}
+	return c
+}
+
+// Count returns the number of agents satisfying pred.
+func (s *Sim[S]) Count(pred func(S) bool) int {
+	n := 0
+	for _, a := range s.agents {
+		if pred(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// All reports whether every agent satisfies pred.
+func (s *Sim[S]) All(pred func(S) bool) bool {
+	for _, a := range s.agents {
+		if !pred(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether at least one agent satisfies pred.
+func (s *Sim[S]) Any(pred func(S) bool) bool {
+	for _, a := range s.agents {
+		if pred(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// DistinctStates returns the number of distinct states observed since the
+// initial configuration. It returns 0 unless the simulator was constructed
+// with WithStateTracking.
+func (s *Sim[S]) DistinctStates() int { return len(s.seen) }
+
+// InteractionCount returns how many interactions agent i has participated
+// in. It returns 0 unless WithInteractionCounts was set.
+func (s *Sim[S]) InteractionCount(i int) int64 {
+	if s.icounts == nil {
+		return 0
+	}
+	return s.icounts[i]
+}
+
+// MaxInteractionCount returns the maximum per-agent interaction count, or 0
+// if WithInteractionCounts was not set.
+func (s *Sim[S]) MaxInteractionCount() int64 {
+	var m int64
+	for _, c := range s.icounts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Rand exposes the simulator's random source (for protocol-specific
+// initialization performed outside transition rules, e.g. dense-config
+// shuffling in experiments).
+func (s *Sim[S]) Rand() *rand.Rand { return s.rng }
+
+// Step executes one interaction: an ordered pair (receiver, sender) of
+// distinct agents is selected uniformly at random and the rule is applied.
+func (s *Sim[S]) Step() {
+	n := len(s.agents)
+	i := s.rng.IntN(n)
+	j := s.rng.IntN(n - 1)
+	if j >= i {
+		j++
+	}
+	a, b := s.rule(s.agents[i], s.agents[j], s.rng)
+	s.agents[i], s.agents[j] = a, b
+	s.interactions++
+	if s.icounts != nil {
+		s.icounts[i]++
+		s.icounts[j]++
+	}
+	if s.seen != nil {
+		s.seen[a] = struct{}{}
+		s.seen[b] = struct{}{}
+	}
+}
+
+// Run executes k interactions.
+func (s *Sim[S]) Run(k int64) {
+	for i := int64(0); i < k; i++ {
+		s.Step()
+	}
+}
+
+// RunTime executes t units of parallel time (t·n interactions, rounded
+// down).
+func (s *Sim[S]) RunTime(t float64) {
+	s.Run(int64(t * float64(len(s.agents))))
+}
+
+// RunUntil repeatedly executes checkEvery units of parallel time and then
+// evaluates pred, stopping as soon as pred holds or maxTime units of
+// parallel time have elapsed since the call began. It returns true if pred
+// held, along with the parallel time at which the final check succeeded.
+func (s *Sim[S]) RunUntil(pred func(*Sim[S]) bool, checkEvery, maxTime float64) (ok bool, at float64) {
+	if checkEvery <= 0 {
+		panic("pop: RunUntil requires checkEvery > 0")
+	}
+	start := s.Time()
+	if pred(s) {
+		return true, start
+	}
+	for s.Time()-start < maxTime {
+		s.RunTime(checkEvery)
+		if pred(s) {
+			return true, s.Time()
+		}
+	}
+	return false, s.Time()
+}

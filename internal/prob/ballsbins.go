@@ -1,0 +1,61 @@
+package prob
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// DepletionBound returns the Lemma E.1 bound: with n bins of which k start
+// empty, after throwing m balls uniformly at random,
+//
+//	Pr[<= δk bins remain empty] < (2δ·e^(m/n))^(δk),
+//
+// for 0 < δ <= 1/2.
+func DepletionBound(delta float64, k, m, n int) float64 {
+	if delta <= 0 || delta > 0.5 {
+		panic("prob: DepletionBound requires 0 < delta <= 1/2")
+	}
+	base := 2 * delta * math.Exp(float64(m)/float64(n))
+	return math.Pow(base, delta*float64(k))
+}
+
+// StateDepletionBound returns the Lemma E.2 bound: a state with initial
+// count k, interacting for T units of parallel time, has
+//
+//	Pr[∃ t ∈ [0,T] : count_t <= δk] <= (2δ·e^(3T))^(δk).
+//
+// The factor e^(3T) comes from the three-balls-per-interaction coupling in
+// the paper's proof.
+func StateDepletionBound(delta, t float64, k int) float64 {
+	if delta <= 0 || delta > 0.5 {
+		panic("prob: StateDepletionBound requires 0 < delta <= 1/2")
+	}
+	base := 2 * delta * math.Exp(3*t)
+	return math.Pow(base, delta*float64(k))
+}
+
+// CorE3Bound returns the Corollary E.3 bound 2^(−k/81): within one unit of
+// parallel time, the count of a state starting at k drops below k/81 with
+// probability at most 2^(−k/81) (using δ = 1/81, T = 1, 2e³ < 40.2).
+func CorE3Bound(k int) float64 {
+	return math.Exp2(-float64(k) / 81)
+}
+
+// ThrowBalls simulates throwing m balls uniformly into n bins of which the
+// first k start empty, returning how many of those k bins remain empty.
+// It is the exact process analyzed in Lemma E.1.
+func ThrowBalls(r *rand.Rand, n, k, m int) int {
+	if k > n {
+		panic("prob: ThrowBalls requires k <= n")
+	}
+	hit := make([]bool, k)
+	empty := k
+	for i := 0; i < m; i++ {
+		b := r.IntN(n)
+		if b < k && !hit[b] {
+			hit[b] = true
+			empty--
+		}
+	}
+	return empty
+}

@@ -1,0 +1,124 @@
+package prob
+
+import "math"
+
+// EulerGamma is the Euler–Mascheroni constant γ used throughout Appendix D.
+const EulerGamma = 0.5772156649015329
+
+// Epsilon1 and Epsilon2 are the constants ε₁ = 0.01 and ε₂ = 0.0006 of
+// Lemma D.4 (valid for N >= 50).
+const (
+	Epsilon1 = 0.01
+	Epsilon2 = 0.0006
+)
+
+// Log2 returns the base-2 logarithm of x, the paper's "log".
+func Log2(x float64) float64 { return math.Log2(x) }
+
+// Harmonic returns the n'th harmonic number H_n = sum_{k=1}^{n} 1/k.
+func Harmonic(n int) float64 {
+	if n < 0 {
+		panic("prob: Harmonic requires n >= 0")
+	}
+	// Exact summation for small n; asymptotic expansion beyond, accurate to
+	// well under 1e-12 for n >= 256.
+	if n < 256 {
+		h := 0.0
+		for k := 1; k <= n; k++ {
+			h += 1 / float64(k)
+		}
+		return h
+	}
+	x := float64(n)
+	return math.Log(x) + EulerGamma + 1/(2*x) - 1/(12*x*x) + 1/(120*x*x*x*x)
+}
+
+// ExpectedEpidemicTime returns E[T] = (n-1)/n · H_{n-1}, the expected parallel
+// time for a one-way epidemic to infect a population of n agents (Lemma A.1,
+// from Angluin, Aspnes, Eisenstat 2008).
+func ExpectedEpidemicTime(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n-1) / float64(n) * Harmonic(n-1)
+}
+
+// EpidemicUpperTail returns the Lemma A.1 bound
+// Pr[T > αu · ln n] < 4 · n^(−αu/4+1) for a full-population epidemic.
+func EpidemicUpperTail(alphaU float64, n int) float64 {
+	return 4 * math.Pow(float64(n), -alphaU/4+1)
+}
+
+// EpidemicSubpopUpperTail returns the Corollary 3.4 bound for an epidemic
+// confined to a subpopulation of a = n/c agents:
+// Pr[T > αu · ln a] < a^(−(αu−4c)²/(12c)).
+func EpidemicSubpopUpperTail(alphaU, c float64, a int) float64 {
+	return math.Pow(float64(a), -(alphaU-4*c)*(alphaU-4*c)/(12*c))
+}
+
+// PartitionTail returns the Lemma 3.2 bound: the probability that the number
+// of A-role agents deviates from n/2 by at least a is at most 2·e^(−2a²/n)
+// (one-sided bound e^(−2a²/n); the factor 2 is the union over both tails).
+func PartitionTail(a float64, n int) float64 {
+	return 2 * math.Exp(-2*a*a/float64(n))
+}
+
+// InteractionCountD returns D = 2C + sqrt(12C) from Lemma 3.6: in C·ln n
+// parallel time, with probability >= 1 − 1/n, every agent has at most
+// D·ln n interactions (requires C >= 3).
+func InteractionCountD(c float64) float64 {
+	return 2*c + math.Sqrt(12*c)
+}
+
+// MaxGeomUpperTail returns the Lemma D.7 bound Pr[M >= 2·log N] < 1/N for
+// the maximum M of N 1/2-geometric random variables.
+func MaxGeomUpperTail(n int) float64 { return 1 / float64(n) }
+
+// MaxGeomLowerTail returns the Lemma D.7 bound
+// Pr[M <= log N − log ln N] < 1/N.
+func MaxGeomLowerTail(n int) float64 { return 1 / float64(n) }
+
+// SubExpTail returns the Corollary D.6 sub-exponential tail bound for the
+// maximum M of N >= 50 1/2-geometric random variables:
+// Pr[|M − E[M]| >= λ] < 3.31 · e^(−λ/2).
+func SubExpTail(lambda float64) float64 {
+	return 3.31 * math.Exp(-lambda/2)
+}
+
+// SumOfMaximaTail returns the Lemma D.8 bound for S, the sum of K maxima of
+// N 1/2-geometric random variables: Pr[|S − E[S]| >= t] <= 2 · e^(K − t/4).
+func SumOfMaximaTail(k int, t float64) float64 {
+	return 2 * math.Exp(float64(k)-t/4)
+}
+
+// CorD10Bound returns the Corollary D.10 bound: with K >= 4·log N,
+// Pr[|S/K − log N| >= 4.7] <= 2/N.
+func CorD10Bound(n int) float64 { return 2 / float64(n) }
+
+// CorD10MinK returns the minimum number of repetitions K = 4·log2 N required
+// by Corollary D.10 (rounded up).
+func CorD10MinK(n int) int {
+	return int(math.Ceil(4 * math.Log2(float64(n))))
+}
+
+// LogSize2Interval returns the Lemma 3.8 high-probability interval
+// [log n − log ln n, 2·log n + 1] for the effective logSize2 value
+// (raw maximum + 2) in a population of n agents.
+func LogSize2Interval(n int) (lo, hi float64) {
+	ln := math.Log(float64(n))
+	return Log2(float64(n)) - Log2(ln), 2*Log2(float64(n)) + 1
+}
+
+// GRInterval returns the Corollary A.2 high-probability interval
+// [log n − log ln n − 2, 2·log n − 1] for the raw per-epoch maxima gr.
+func GRInterval(n int) (lo, hi float64) {
+	ln := math.Log(float64(n))
+	return Log2(float64(n)) - Log2(ln) - 2, 2*Log2(float64(n)) - 1
+}
+
+// MainErrorBound is the Theorem 3.1 additive error bound on |k − log n|.
+const MainErrorBound = 5.7
+
+// MainErrorFailureProb returns the Theorem 3.1 bound 9/n on the probability
+// that the output misses log n by more than MainErrorBound.
+func MainErrorFailureProb(n int) float64 { return 9 / float64(n) }

@@ -1,0 +1,26 @@
+package prob
+
+import "math"
+
+// ExpectedMaxGeometric returns Eisenberg's approximation to the expectation
+// of the maximum of n independent 1/2-geometric random variables:
+//
+//	E[M] ≈ (ln n + γ)/ln 2 + 1/2,
+//
+// which Lemma D.4 brackets as log n + 1 < E[M] < log n + 3/2 for n >= 50.
+func ExpectedMaxGeometric(n int) float64 {
+	return (math.Log(float64(n))+EulerGamma)/math.Ln2 + 0.5
+}
+
+// MaxGeomExpectationBounds returns the Lemma D.4 bracket
+// (log n + 1, log n + 3/2) on E[M] for n >= 50 and p = 1/2.
+func MaxGeomExpectationBounds(n int) (lo, hi float64) {
+	l := Log2(float64(n))
+	return l + 1, l + 1.5
+}
+
+// Delta0 is δ₀ = 1/2 + γ/ln 2 − ε₂ from Corollary D.9, the centering offset
+// between E[M] and log N.
+func Delta0() float64 {
+	return 0.5 + EulerGamma/math.Ln2 - Epsilon2
+}

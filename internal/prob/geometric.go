@@ -1,0 +1,99 @@
+// Package prob implements the probability substrate of Doty & Eftekhari
+// (PODC 2019): geometric random variables, maxima of geometric random
+// variables (Appendix D), the sub-exponential Chernoff machinery used to
+// bound sums of such maxima, and the balls-in-bins depletion bounds of
+// Appendix E. Every exported bound function mirrors a numbered lemma or
+// corollary of the paper and is referenced from tests and experiments.
+package prob
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Geometric returns a 1/2-geometric random variable: the number of fair-coin
+// flips up to and including the first head. Its support is {1, 2, ...} and
+// Pr[G >= t] = 2^-(t-1).
+//
+// The implementation consumes one 64-bit word per call and counts trailing
+// zero bits; the event that a whole word is tails (probability 2^-64) falls
+// through to another word, so the distribution is exact.
+func Geometric(r *rand.Rand) int {
+	g := 1
+	for {
+		w := r.Uint64()
+		tz := bits.TrailingZeros64(w)
+		if tz < 64 {
+			return g + tz
+		}
+		g += 64
+	}
+}
+
+// GeometricP returns a p-geometric random variable (number of flips of a
+// Pr[heads]=p coin up to and including the first head) by CDF inversion.
+// It panics if p is outside (0, 1].
+func GeometricP(r *rand.Rand, p float64) int {
+	if p <= 0 || p > 1 {
+		panic("prob: GeometricP requires p in (0, 1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	// Invert Pr[G > t] = (1-p)^t: G = ceil(log(1-u) / log(1-p)).
+	u := r.Float64()
+	g := int(math.Ceil(math.Log1p(-u) / math.Log1p(-p)))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// MaxGeometric returns the maximum of n independent 1/2-geometric random
+// variables, sampled in O(log n) expected time by CDF inversion:
+// Pr[M <= t] = (1 - 2^-t)^n.
+func MaxGeometric(r *rand.Rand, n int) int {
+	if n <= 0 {
+		panic("prob: MaxGeometric requires n >= 1")
+	}
+	u := r.Float64()
+	// Find the smallest t >= 1 with (1 - 2^-t)^n >= u, i.e.
+	// n * log1p(-2^-t) >= log(u).
+	logU := math.Log(u)
+	t := 1
+	for n*1 > 0 { // loop bounded below by the t += 1 walk; exits via return
+		if float64(n)*math.Log1p(-math.Exp2(-float64(t))) >= logU {
+			return t
+		}
+		t++
+		if t > 64*1024 { // unreachable in practice; guards u == 0 pathologies
+			return t
+		}
+	}
+	return t
+}
+
+// MaxGeometricNaive returns the maximum of n independent 1/2-geometric
+// random variables by direct sampling. It is used by tests to cross-check
+// MaxGeometric's inversion sampler.
+func MaxGeometricNaive(r *rand.Rand, n int) int {
+	m := 0
+	for i := 0; i < n; i++ {
+		if g := Geometric(r); g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+// SumOfMaxima returns the sum of k independent copies of the maximum of n
+// independent 1/2-geometric random variables (the random variable S of
+// Lemma D.8 and Corollary D.10).
+func SumOfMaxima(r *rand.Rand, k, n int) int {
+	s := 0
+	for i := 0; i < k; i++ {
+		s += MaxGeometric(r, n)
+	}
+	return s
+}

@@ -1,0 +1,278 @@
+package prob
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func testRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xdeadbeef))
+}
+
+func TestGeometricSupport(t *testing.T) {
+	r := testRand(1)
+	for i := 0; i < 10000; i++ {
+		if g := Geometric(r); g < 1 {
+			t.Fatalf("Geometric() = %d < 1", g)
+		}
+	}
+}
+
+// TestGeometricMean: E[G] = 2 for p = 1/2.
+func TestGeometricMean(t *testing.T) {
+	r := testRand(2)
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += Geometric(r)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-2) > 0.02 {
+		t.Errorf("mean of %d geometrics = %.4f, want 2 ± 0.02", n, mean)
+	}
+}
+
+// TestGeometricTail: Pr[G >= t] = 2^-(t-1), checked at a few t.
+func TestGeometricTail(t *testing.T) {
+	r := testRand(3)
+	const n = 400000
+	counts := make([]int, 20)
+	for i := 0; i < n; i++ {
+		g := Geometric(r)
+		for t := 1; t <= g && t < len(counts); t++ {
+			counts[t]++
+		}
+	}
+	for _, tv := range []int{2, 4, 7, 10} {
+		got := float64(counts[tv]) / n
+		want := math.Exp2(-float64(tv - 1))
+		if math.Abs(got-want) > 5*math.Sqrt(want*(1-want)/n)+1e-6 {
+			t.Errorf("Pr[G >= %d] = %.5f, want %.5f", tv, got, want)
+		}
+	}
+}
+
+func TestGeometricPEdge(t *testing.T) {
+	r := testRand(4)
+	if g := GeometricP(r, 1); g != 1 {
+		t.Errorf("GeometricP(1) = %d, want 1", g)
+	}
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GeometricP(%v) did not panic", p)
+				}
+			}()
+			GeometricP(r, p)
+		}()
+	}
+}
+
+// TestGeometricPMean: E[G] = 1/p.
+func TestGeometricPMean(t *testing.T) {
+	r := testRand(5)
+	for _, p := range []float64{0.25, 0.5, 0.9} {
+		const n = 100000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += GeometricP(r, p)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-1/p) > 0.05/p {
+			t.Errorf("p=%v: mean = %.4f, want %.4f", p, mean, 1/p)
+		}
+	}
+}
+
+// TestMaxGeometricMatchesNaive: the CDF-inversion sampler and the direct
+// sampler agree in distribution (compared via means over many samples).
+func TestMaxGeometricMatchesNaive(t *testing.T) {
+	const n, trials = 200, 4000
+	r1, r2 := testRand(6), testRand(7)
+	var s1, s2 float64
+	for i := 0; i < trials; i++ {
+		s1 += float64(MaxGeometric(r1, n))
+		s2 += float64(MaxGeometricNaive(r2, n))
+	}
+	m1, m2 := s1/trials, s2/trials
+	if math.Abs(m1-m2) > 0.15 {
+		t.Errorf("inversion mean %.3f vs naive mean %.3f differ by > 0.15", m1, m2)
+	}
+}
+
+// TestMaxGeomExpectation checks Lemma D.4's bracket
+// log N + 1 < E[M] < log N + 3/2 empirically and for the closed form.
+func TestMaxGeomExpectation(t *testing.T) {
+	for _, n := range []int{64, 1024, 65536} {
+		lo, hi := MaxGeomExpectationBounds(n)
+		if e := ExpectedMaxGeometric(n); e <= lo || e >= hi {
+			t.Errorf("n=%d: closed-form E[M]=%.4f outside (%.4f, %.4f)", n, e, lo, hi)
+		}
+		r := testRand(uint64(n))
+		const trials = 30000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			sum += float64(MaxGeometric(r, n))
+		}
+		mean := sum / trials
+		if mean < lo-0.05 || mean > hi+0.05 {
+			t.Errorf("n=%d: empirical E[M]=%.4f outside (%.4f, %.4f)±0.05", n, mean, lo, hi)
+		}
+	}
+}
+
+// TestMaxGeomTails checks Lemma D.7: Pr[M >= 2 log N] < 1/N and
+// Pr[M <= log N − log ln N] < 1/N.
+func TestMaxGeomTails(t *testing.T) {
+	const n, trials = 1024, 20000
+	r := testRand(9)
+	logN := math.Log2(float64(n))
+	upper, lower := 0, 0
+	for i := 0; i < trials; i++ {
+		m := float64(MaxGeometric(r, n))
+		if m >= 2*logN {
+			upper++
+		}
+		if m <= logN-math.Log2(math.Log(float64(n))) {
+			lower++
+		}
+	}
+	// Allow 4× slack over the 1/N bound at this sample size.
+	bound := 4 * float64(trials) / float64(n)
+	if float64(upper) > bound {
+		t.Errorf("upper tail count %d exceeds 4×(trials/N) = %.0f", upper, bound)
+	}
+	if float64(lower) > bound {
+		t.Errorf("lower tail count %d exceeds 4×(trials/N) = %.0f", lower, bound)
+	}
+}
+
+// TestSubExpTailDominates: Corollary D.6's bound dominates the empirical
+// deviation frequencies of M from E[M].
+func TestSubExpTailDominates(t *testing.T) {
+	const n, trials = 512, 40000
+	r := testRand(10)
+	e := ExpectedMaxGeometric(n)
+	for _, lambda := range []float64{3, 5, 8} {
+		exceed := 0
+		for i := 0; i < trials; i++ {
+			if math.Abs(float64(MaxGeometric(r, n))-e) >= lambda {
+				exceed++
+			}
+		}
+		got := float64(exceed) / trials
+		if bound := SubExpTail(lambda); got > bound {
+			t.Errorf("λ=%v: empirical tail %.5f > bound %.5f", lambda, got, bound)
+		}
+	}
+}
+
+// TestCorD10: with K = 4 log N repetitions, |S/K − log N| < 4.7 except with
+// probability ≤ 2/N.
+func TestCorD10(t *testing.T) {
+	const n, trials = 256, 3000
+	k := CorD10MinK(n)
+	r := testRand(11)
+	logN := math.Log2(float64(n))
+	bad := 0
+	for i := 0; i < trials; i++ {
+		s := SumOfMaxima(r, k, n)
+		if math.Abs(float64(s)/float64(k)-logN) >= 4.7 {
+			bad++
+		}
+	}
+	if limit := 4 * float64(trials) * CorD10Bound(n); float64(bad) > limit {
+		t.Errorf("Cor D.10 failures %d exceed 4× bound %.1f", bad, limit)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {4, 25.0 / 12},
+	}
+	for _, tt := range tests {
+		if got := Harmonic(tt.n); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+	// Asymptotic branch continuity: compare against direct summation.
+	direct := 0.0
+	for k := 1; k <= 300; k++ {
+		direct += 1 / float64(k)
+	}
+	if got := Harmonic(300); math.Abs(got-direct) > 1e-9 {
+		t.Errorf("Harmonic(300) = %.12f, want %.12f", got, direct)
+	}
+}
+
+func TestExpectedEpidemicTime(t *testing.T) {
+	if got := ExpectedEpidemicTime(1); got != 0 {
+		t.Errorf("ExpectedEpidemicTime(1) = %v, want 0", got)
+	}
+	got := ExpectedEpidemicTime(1000)
+	ln := math.Log(1000.0)
+	if got < ln-1 || got > ln+2 {
+		t.Errorf("ExpectedEpidemicTime(1000) = %.3f, want ≈ ln n + γ ≈ %.3f", got, ln+EulerGamma)
+	}
+}
+
+// TestThrowBallsDepletion checks Lemma E.1: the probability that ≤ δk bins
+// stay empty is below the bound (empirically, with the bound ≪ 1).
+func TestThrowBallsDepletion(t *testing.T) {
+	const n, k, trials = 1000, 500, 800
+	m := 2 * n // two units of "time" worth of balls
+	// The bound is meaningful only for δ < e^(−m/n)/2 ≈ 0.068 here.
+	delta := 0.04
+	bound := DepletionBound(delta, k, m, n)
+	if bound > 0.01 {
+		t.Fatalf("test setup: bound %.4f too weak to be meaningful", bound)
+	}
+	r := testRand(12)
+	bad := 0
+	for i := 0; i < trials; i++ {
+		if empty := ThrowBalls(r, n, k, m); float64(empty) <= delta*float64(k) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("depletion events %d > 0 despite bound %.2g", bad, bound)
+	}
+}
+
+func TestBoundFormulas(t *testing.T) {
+	if got := CorE3Bound(81); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CorE3Bound(81) = %v, want 0.5", got)
+	}
+	if got := InteractionCountD(24); math.Abs(got-(48+math.Sqrt(288))) > 1e-12 {
+		t.Errorf("InteractionCountD(24) = %v", got)
+	}
+	if lo, hi := LogSize2Interval(1024); lo >= hi || hi != 21 {
+		t.Errorf("LogSize2Interval(1024) = %v, %v; want hi = 21", lo, hi)
+	}
+	if got := SumOfMaximaTail(10, 100); got >= 2*math.Exp(-10)+1e-15 || got <= 0 {
+		t.Errorf("SumOfMaximaTail(10,100) = %v, want 2e^{-15}", got)
+	}
+}
+
+// TestDepletionBoundMonotone: the Lemma E.1 bound decreases in k and
+// increases in m (property-based).
+func TestDepletionBoundMonotone(t *testing.T) {
+	f := func(k8, m8 uint8) bool {
+		k := int(k8)%200 + 100
+		m := int(m8)%500 + 1
+		n := 1000
+		b1 := DepletionBound(0.2, k, m, n)
+		b2 := DepletionBound(0.2, k+50, m, n)
+		b3 := DepletionBound(0.2, k, m+400, n)
+		return b2 <= b1+1e-15 && b3 >= b1-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package producible implements the m-ρ-producibility machinery of
+// Section 4: explicit finite protocol descriptions with randomized
+// transition relations, the PROD_ρ operator, the Λ^m_ρ closure, and an
+// empirical check of the timer/density Lemma 4.2 (all states producible
+// via m transitions of rate >= ρ reach count δn within one unit of
+// parallel time, starting from any sufficiently large α-dense
+// configuration).
+//
+// This machinery is what makes Theorem 4.1 bite: if a uniform protocol can
+// terminate at all from a dense configuration, its terminated states are
+// m-ρ-producible for constants m, ρ, so termination happens in O(1) time —
+// no protocol needing ω(1) time can signal completion.
+package producible
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// Outcome is one randomized result of a pair interaction: with probability
+// Rho the receiver moves to state C and the sender to state D.
+type Outcome struct {
+	C, D int
+	Rho  float64
+}
+
+// Protocol is an explicit finite population protocol: states are indices
+// into Names, and Transitions maps an ordered (receiver, sender) state pair
+// to its possible outcomes. Pairs without an entry are null transitions.
+// The outcome probabilities for a pair must sum to at most 1; residual
+// probability means "no change".
+type Protocol struct {
+	Names       []string
+	Transitions map[[2]int][]Outcome
+}
+
+// Validate checks state indices and probability mass.
+func (p *Protocol) Validate() error {
+	n := len(p.Names)
+	for pair, outs := range p.Transitions {
+		if pair[0] < 0 || pair[0] >= n || pair[1] < 0 || pair[1] >= n {
+			return fmt.Errorf("producible: transition pair %v out of range", pair)
+		}
+		mass := 0.0
+		for _, o := range outs {
+			if o.C < 0 || o.C >= n || o.D < 0 || o.D >= n {
+				return fmt.Errorf("producible: outcome %+v of pair %v out of range", o, pair)
+			}
+			if o.Rho <= 0 || o.Rho > 1 {
+				return fmt.Errorf("producible: outcome %+v of pair %v has rate outside (0,1]", o, pair)
+			}
+			mass += o.Rho
+		}
+		if mass > 1+1e-9 {
+			return fmt.Errorf("producible: pair %v has probability mass %v > 1", pair, mass)
+		}
+	}
+	return nil
+}
+
+// Prod returns PROD_ρ(Γ): the set of states producible by a single
+// transition with rate >= rho, assuming only states in gamma are present.
+func (p *Protocol) Prod(rho float64, gamma map[int]bool) map[int]bool {
+	out := make(map[int]bool)
+	for pair, outs := range p.Transitions {
+		if !gamma[pair[0]] || !gamma[pair[1]] {
+			continue
+		}
+		for _, o := range outs {
+			if o.Rho >= rho {
+				out[o.C] = true
+				out[o.D] = true
+			}
+		}
+	}
+	return out
+}
+
+// Closure returns the chain Λ⁰_ρ ⊆ Λ¹_ρ ⊆ ... ⊆ Λ^m_ρ of m-ρ-producible
+// state sets starting from the states present in initial. The result has
+// m+1 entries; entry i is Λ^i_ρ as a sorted-iteration-friendly set.
+func (p *Protocol) Closure(rho float64, initial []int, m int) []map[int]bool {
+	cur := make(map[int]bool, len(initial))
+	for _, s := range initial {
+		cur[s] = true
+	}
+	chain := make([]map[int]bool, 0, m+1)
+	chain = append(chain, copySet(cur))
+	for i := 0; i < m; i++ {
+		next := copySet(cur)
+		for s := range p.Prod(rho, cur) {
+			next[s] = true
+		}
+		chain = append(chain, copySet(next))
+		cur = next
+	}
+	return chain
+}
+
+// ClosureDepth returns the smallest m with Λ^m_ρ = Λ^(m+1)_ρ (the closure
+// saturates; for finite protocols it always does) along with the final set.
+func (p *Protocol) ClosureDepth(rho float64, initial []int) (int, map[int]bool) {
+	cur := make(map[int]bool, len(initial))
+	for _, s := range initial {
+		cur[s] = true
+	}
+	for m := 0; ; m++ {
+		next := copySet(cur)
+		for s := range p.Prod(rho, cur) {
+			next[s] = true
+		}
+		if len(next) == len(cur) {
+			return m, cur
+		}
+		cur = next
+	}
+}
+
+// Rule returns a pop.Rule executing the protocol's randomized transition
+// relation.
+func (p *Protocol) Rule() pop.Rule[int] {
+	return func(rec, sen int, r *rand.Rand) (int, int) {
+		outs := p.Transitions[[2]int{rec, sen}]
+		if len(outs) == 0 {
+			return rec, sen
+		}
+		u := r.Float64()
+		for _, o := range outs {
+			if u < o.Rho {
+				return o.C, o.D
+			}
+			u -= o.Rho
+		}
+		return rec, sen
+	}
+}
+
+// DenseConfig builds an n-agent configuration in which every state listed
+// appears with count >= ⌊αn⌋ (the first state absorbs the remainder); it
+// panics if α·len(states) > 1.
+func DenseConfig(states []int, alpha float64, n int) []int {
+	per := int(alpha * float64(n))
+	if per*len(states) > n {
+		panic("producible: alpha too large for state count")
+	}
+	cfg := make([]int, 0, n)
+	for _, s := range states {
+		for i := 0; i < per; i++ {
+			cfg = append(cfg, s)
+		}
+	}
+	for len(cfg) < n {
+		cfg = append(cfg, states[0])
+	}
+	return cfg
+}
+
+// MinCountReport is the outcome of one Lemma 4.2 empirical check.
+type MinCountReport struct {
+	// MinFraction is min over s ∈ Λ^m_ρ of count(s)/n at time 1.
+	MinFraction float64
+	// Counts maps each state in Λ^m_ρ to its count at time 1.
+	Counts map[int]int
+}
+
+// CheckLemma42 runs the protocol from the given α-dense configuration for
+// one unit of parallel time and reports the minimum density over all states
+// in Λ^m_ρ. Lemma 4.2 asserts this is >= δ for some constant δ > 0 w.h.p.,
+// independent of n.
+func (p *Protocol) CheckLemma42(cfg []int, rho float64, m int, seed uint64) MinCountReport {
+	initialSet := make(map[int]bool)
+	for _, s := range cfg {
+		initialSet[s] = true
+	}
+	initial := make([]int, 0, len(initialSet))
+	for s := range initialSet {
+		initial = append(initial, s)
+	}
+	chain := p.Closure(rho, initial, m)
+	lam := chain[len(chain)-1]
+
+	sim := pop.NewFromConfig(cfg, p.Rule(), pop.WithSeed(seed))
+	sim.RunTime(1)
+
+	counts := sim.Counts()
+	rep := MinCountReport{MinFraction: 1, Counts: make(map[int]int, len(lam))}
+	n := float64(sim.N())
+	for s := range lam {
+		c := counts[s]
+		rep.Counts[s] = c
+		if f := float64(c) / n; f < rep.MinFraction {
+			rep.MinFraction = f
+		}
+	}
+	return rep
+}
+
+func copySet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}

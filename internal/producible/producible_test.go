@@ -1,0 +1,155 @@
+package producible
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       *Protocol
+		wantErr bool
+	}{
+		{"approx majority", ApproxMajority(), false},
+		{"counter chain", CounterChain(5), false},
+		{"coin doubler", CoinDoubler(), false},
+		{"bad state index", &Protocol{
+			Names:       []string{"a"},
+			Transitions: map[[2]int][]Outcome{{0, 3}: {{C: 0, D: 0, Rho: 1}}},
+		}, true},
+		{"mass over one", &Protocol{
+			Names:       []string{"a"},
+			Transitions: map[[2]int][]Outcome{{0, 0}: {{C: 0, D: 0, Rho: 0.7}, {C: 0, D: 0, Rho: 0.7}}},
+		}, true},
+		{"zero rate", &Protocol{
+			Names:       []string{"a"},
+			Transitions: map[[2]int][]Outcome{{0, 0}: {{C: 0, D: 0, Rho: 0}}},
+		}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestClosureCounterChain(t *testing.T) {
+	const m = 6
+	p := CounterChain(m)
+	chain := p.Closure(1, []int{0}, m)
+	for i, lam := range chain {
+		// Λ^i = {c0..ci}: counting up one level per transition round.
+		if len(lam) != i+1 {
+			t.Errorf("Λ^%d has %d states, want %d", i, len(lam), i+1)
+		}
+	}
+	if !chain[m][m] {
+		t.Errorf("terminated state T=c%d not in Λ^%d", m, m)
+	}
+}
+
+func TestClosureDepthSaturates(t *testing.T) {
+	p := ApproxMajority()
+	depth, lam := p.ClosureDepth(1, []int{0, 1})
+	if depth != 1 || len(lam) != 3 {
+		t.Errorf("ClosureDepth = %d with %d states; want depth 1, 3 states", depth, len(lam))
+	}
+}
+
+func TestClosureRateFiltering(t *testing.T) {
+	p := CoinDoubler()
+	// With ρ = 0.3 only the rate-0.5 outcome counts: state 2 unreachable.
+	_, lam := p.ClosureDepth(0.3, []int{0})
+	if lam[2] {
+		t.Error("rate-¼ outcome included at ρ = 0.3")
+	}
+	if !lam[1] {
+		t.Error("rate-½ outcome excluded at ρ = 0.3")
+	}
+	// With ρ = 0.2 both appear.
+	_, lam = p.ClosureDepth(0.2, []int{0})
+	if !lam[2] {
+		t.Error("rate-¼ outcome excluded at ρ = 0.2")
+	}
+}
+
+// TestClosureMonotoneIdempotent: Λ^i ⊆ Λ^(i+1), and recomputing the closure
+// from a saturated set is a fixed point (property-based over random m).
+func TestClosureMonotoneIdempotent(t *testing.T) {
+	p := CounterChain(8)
+	f := func(m8 uint8) bool {
+		m := int(m8 % 10)
+		chain := p.Closure(1, []int{0}, m)
+		for i := 1; i < len(chain); i++ {
+			for s := range chain[i-1] {
+				if !chain[i][s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseConfig(t *testing.T) {
+	cfg := DenseConfig([]int{0, 1}, 0.4, 100)
+	if len(cfg) != 100 {
+		t.Fatalf("len = %d, want 100", len(cfg))
+	}
+	c0, c1 := 0, 0
+	for _, s := range cfg {
+		switch s {
+		case 0:
+			c0++
+		case 1:
+			c1++
+		}
+	}
+	if c0 != 60 || c1 != 40 {
+		t.Errorf("counts = %d,%d; want 60,40", c0, c1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("over-dense request did not panic")
+		}
+	}()
+	DenseConfig([]int{0, 1, 2}, 0.5, 10)
+}
+
+// TestLemma42ApproxMajority: from a ½/½-dense {X,Y} configuration, all
+// states of the 3-state approximate-majority protocol reach a constant
+// fraction of n by time 1, for n across two orders of magnitude.
+func TestLemma42ApproxMajority(t *testing.T) {
+	p := ApproxMajority()
+	for _, n := range []int{500, 5000, 50000} {
+		cfg := DenseConfig([]int{0, 1}, 0.5, n)
+		rep := p.CheckLemma42(cfg, 1, 1, 7)
+		if rep.MinFraction < 0.02 {
+			t.Errorf("n=%d: min density %.4f < 0.02 at time 1", n, rep.MinFraction)
+		}
+	}
+}
+
+// TestLemma42CounterChain: the terminated state of a constant-threshold
+// counter protocol reaches Θ(n) count by constant time from the all-c0
+// dense configuration — the concrete engine behind Theorem 4.1.
+func TestLemma42CounterChain(t *testing.T) {
+	const m = 4 // T is 4-producible; agents need 4 interactions each
+	p := CounterChain(m)
+	for _, n := range []int{1000, 10000} {
+		cfg := DenseConfig([]int{0}, 1, n)
+		rep := p.CheckLemma42(cfg, 1, m, 3)
+		if rep.Counts[m] == 0 {
+			t.Errorf("n=%d: no terminated agents at time 1", n)
+		}
+		if rep.MinFraction < 0.005 {
+			t.Errorf("n=%d: min density over Λ^m = %.4f < 0.005", n, rep.MinFraction)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one scatter-plot sample.
+type Point struct {
+	X, Y float64
+}
+
+// ASCIIPlotLogX renders points as a terminal scatter plot with a log10 x
+// axis — the format of the paper's Figure 2 ("exactly O(c·log10 n) time
+// complexity would correspond to a straight line with slope c").
+func ASCIIPlotLogX(title string, pts []Point, width, height int) string {
+	if len(pts) == 0 {
+		return title + ": (no data)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, p := range pts {
+		lx := math.Log10(p.X)
+		minX = math.Min(minX, lx)
+		maxX = math.Max(maxX, lx)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		cx := int((math.Log10(p.X) - minX) / (maxX - minX) * float64(width-1))
+		cy := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
+		grid[cy][cx] = 'o'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "y: [%.0f, %.0f] parallel time; x: log10(n) in [%.1f, %.1f]\n", minY, maxY, minX, maxX)
+	for _, row := range grid {
+		b.WriteString("|" + string(row) + "\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}

@@ -1,0 +1,71 @@
+// Package stats provides the small statistics and reporting toolkit used
+// by the experiment harness: summaries, quantiles, markdown/CSV tables,
+// an ASCII log-x scatter plot for the Figure 2 reproduction, and a
+// bounded-parallelism trial runner.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max         float64
+	Median, Q10, Q90 float64
+}
+
+// Summarize computes a Summary of xs (which it copies and sorts).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	sum, sq := 0.0, 0.0
+	for _, x := range s {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Median: Quantile(s, 0.5),
+		Q10:    Quantile(s, 0.1),
+		Q90:    Quantile(s, 0.9),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sorted sample by
+// linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

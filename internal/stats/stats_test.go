@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"single", []float64{4}, Summary{N: 1, Mean: 4, Min: 4, Max: 4, Median: 4, Q10: 4, Q90: 4}},
+		{"pair", []float64{2, 4}, Summary{N: 2, Mean: 3, Std: 1, Min: 2, Max: 4, Median: 3, Q10: 2.2, Q90: 3.8}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Summarize(tt.in)
+			if got.N != tt.want.N || !close(got.Mean, tt.want.Mean) || !close(got.Std, tt.want.Std) ||
+				!close(got.Median, tt.want.Median) || !close(got.Q10, tt.want.Q10) || !close(got.Q90, tt.want.Q90) {
+				t.Errorf("Summarize(%v) = %+v, want %+v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); !close(got, tt.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) did not return NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow("1", "x,y")
+	md := tb.Markdown()
+	if !strings.Contains(md, "### T") || !strings.Contains(md, "| 1 | x,y |") {
+		t.Errorf("markdown wrong:\n%s", md)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `1,"x,y"`) {
+		t.Errorf("CSV quoting wrong:\n%s", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {1234, "1234"}, {12.34, "12.3"}, {1.2345, "1.234"},
+	}
+	for _, tt := range tests {
+		if got := F(tt.in); got != tt.want {
+			t.Errorf("F(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+	if got := I(42); got != "42" {
+		t.Errorf("I(42) = %q", got)
+	}
+}
+
+func TestASCIIPlotLogX(t *testing.T) {
+	pts := []Point{{X: 100, Y: 10}, {X: 10000, Y: 100}}
+	out := ASCIIPlotLogX("churn", pts, 20, 5)
+	marks := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|") {
+			marks += strings.Count(line, "o")
+		}
+	}
+	if !strings.Contains(out, "churn") || marks != 2 {
+		t.Errorf("plot wrong (marks=%d):\n%s", marks, out)
+	}
+	if got := ASCIIPlotLogX("empty", nil, 20, 5); !strings.Contains(got, "(no data)") {
+		t.Errorf("empty plot = %q", got)
+	}
+}
+
+func TestParallelTrialsOrder(t *testing.T) {
+	got := ParallelTrials(50, func(i int) float64 { return float64(i * i) })
+	for i, v := range got {
+		if v != float64(i*i) {
+			t.Fatalf("trial %d = %v, want %v", i, v, float64(i*i))
+		}
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple named grid of cells for experiment reports.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// F formats a float compactly for table cells.
+func F(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000 || x <= -1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10 || x <= -10:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// I formats an int for table cells.
+func I(x int) string { return fmt.Sprintf("%d", x) }

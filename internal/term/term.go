@@ -1,0 +1,73 @@
+// Package term implements the κ-t-termination framework of Section 4: a
+// protocol is κ-t-terminating if from every valid initial configuration it
+// reaches, with probability >= κ, a configuration in which some agent has
+// raised a terminated flag, taking time >= t(n) to do so. Theorem 4.1: for
+// uniform i.o.-dense protocols, t(n) = O(1) — the termination signal
+// cannot be delayed beyond constant time.
+//
+// The package provides the canonical uniform dense terminating protocol
+// (an interaction counter with a constant threshold), measurement helpers
+// for first-termination times, and the dense/leader contrast used by
+// experiment E12.
+package term
+
+import (
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// CounterState is one agent of the counter-terminator: it counts its own
+// interactions and terminates at a constant threshold. The protocol is
+// uniform (the threshold does not depend on n) and its initial
+// configuration is 1-dense (all agents identical), so Theorem 4.1 applies:
+// first termination happens at time ≈ threshold/2, independent of n.
+type CounterState struct {
+	C          uint32
+	Terminated bool
+}
+
+// CounterTerminator is the counter-terminator protocol.
+type CounterTerminator struct {
+	// Threshold is the constant interaction count at which an agent
+	// terminates.
+	Threshold uint32
+}
+
+// Initial returns the uniform initial state.
+func (CounterTerminator) Initial(_ int, _ *rand.Rand) CounterState { return CounterState{} }
+
+// Rule counts interactions and spreads the terminated flag.
+func (c CounterTerminator) Rule(rec, sen CounterState, _ *rand.Rand) (CounterState, CounterState) {
+	rec = c.tick(rec)
+	sen = c.tick(sen)
+	if rec.Terminated != sen.Terminated {
+		rec.Terminated = true
+		sen.Terminated = true
+	}
+	return rec, sen
+}
+
+func (c CounterTerminator) tick(a CounterState) CounterState {
+	if a.Terminated {
+		return a
+	}
+	a.C++
+	if a.C >= c.Threshold {
+		a.Terminated = true
+	}
+	return a
+}
+
+// Terminated reports whether any agent has terminated.
+func Terminated(s *pop.Sim[CounterState]) bool {
+	return s.Any(func(a CounterState) bool { return a.Terminated })
+}
+
+// FirstTermination runs sim until pred first holds (checking every
+// checkEvery time units) and returns the detection time; ok is false if the
+// budget maxTime is exhausted first.
+func FirstTermination[S comparable](sim *pop.Sim[S], pred func(*pop.Sim[S]) bool, checkEvery, maxTime float64) (t float64, ok bool) {
+	done, at := sim.RunUntil(pred, checkEvery, maxTime)
+	return at, done
+}

@@ -1,0 +1,56 @@
+package upperbound
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/popsim/popsize/internal/core"
+)
+
+// TestRuleMassPreservation: a single Rule application preserves the
+// tournament mass 2^lvlA + 2^lvlB of two live ℓ-agents (merge turns two
+// 2^i into one 2^(i+1)) and never resurrects a dead agent.
+func TestRuleMassPreservation(t *testing.T) {
+	p := MustNew(core.FastConfig())
+	r := testRand()
+	f := func(lvlA, lvlB uint8, aliveA, aliveB bool) bool {
+		a := State{Main: core.Initial(), IsL: aliveA, Lvl: lvlA % 20, Kex: 1}
+		b := State{Main: core.Initial(), IsL: aliveB, Lvl: lvlB % 20, Kex: 1}
+		mass := func(s ...State) uint64 {
+			var m uint64
+			for _, x := range s {
+				if x.IsL {
+					m += 1 << x.Lvl
+				}
+			}
+			return m
+		}
+		before := mass(a, b)
+		ga, gb := p.Rule(a, b, r)
+		if mass(ga, gb) != before {
+			return false
+		}
+		if !aliveA && ga.IsL || !aliveB && gb.IsL {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKexMonotone: kex never decreases at either agent.
+func TestKexMonotone(t *testing.T) {
+	p := MustNew(core.FastConfig())
+	r := testRand()
+	f := func(kexA, kexB, lvlA, lvlB uint8) bool {
+		a := State{Main: core.Initial(), IsL: true, Lvl: lvlA % 20, Kex: kexA%20 + 1}
+		b := State{Main: core.Initial(), IsL: true, Lvl: lvlB % 20, Kex: kexB%20 + 1}
+		ga, gb := p.Rule(a, b, r)
+		return ga.Kex >= a.Kex && gb.Kex >= b.Kex
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,7 @@
+package upperbound
+
+import "math/rand/v2"
+
+func testRand() *rand.Rand {
+	return rand.New(rand.NewPCG(21, 22))
+}

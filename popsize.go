@@ -1,0 +1,100 @@
+// Package popsize is a Go implementation of the population-size estimation
+// protocols of Doty & Eftekhari, "Efficient size estimation and
+// impossibility of termination in uniform dense population protocols"
+// (PODC 2019).
+//
+// The headline protocol, Log-Size-Estimation, is uniform (agents know
+// nothing about n, not even an estimate) and leaderless (all agents start
+// identical); it computes log₂ n ± 5.7 with probability >= 1 − 9/n in
+// O(log² n) parallel time using O(log⁴ n) states:
+//
+//	est, err := popsize.New(popsize.FastConfig())
+//	if err != nil { ... }
+//	res := est.Run(100000, popsize.RunOptions{Seed: 1})
+//	fmt.Printf("log2(n) ≈ %.2f (true %.2f)\n", res.Estimate, math.Log2(100000))
+//
+// The package also exposes the paper's variants — the deterministic
+// synthetic-coin protocol of Appendix B, the probability-1 upper-bound
+// protocol of §3.3, and the terminating-with-a-leader protocol of §3.4 —
+// plus the [2]-style weak estimator the main protocol bootstraps from.
+// Deeper machinery (the simulation engine, composition framework,
+// termination/impossibility experiments) lives in the internal packages
+// and is exercised by cmd/experiments and the examples.
+package popsize
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/popsim/popsize/internal/approxsize"
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// Config holds the protocol constants (threshold and epoch multipliers and
+// the logSize2 bonus). See DESIGN.md for the paper-vs-fast presets.
+type Config = core.Config
+
+// PaperConfig returns Protocol 1's constants (95, 5, +2).
+func PaperConfig() Config { return core.PaperConfig() }
+
+// FastConfig returns reduced constants that preserve the protocol's shape
+// at ~30× less simulation cost; the default for tests and quick runs.
+func FastConfig() Config { return core.FastConfig() }
+
+// RunOptions configures a single protocol run.
+type RunOptions = core.RunOptions
+
+// Result is the outcome of a run: convergence, parallel time, the mean
+// per-agent estimate of log₂ n, and the worst per-agent error.
+type Result = core.Result
+
+// Estimator runs the uniform leaderless Log-Size-Estimation protocol.
+type Estimator struct {
+	p *core.Protocol
+}
+
+// New returns an Estimator with the given configuration.
+func New(cfg Config) (*Estimator, error) {
+	p, err := core.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("popsize: %w", err)
+	}
+	return &Estimator{p: p}, nil
+}
+
+// Run simulates the protocol on a population of n agents until convergence
+// (or the time budget) and returns the Result.
+func (e *Estimator) Run(n int, o RunOptions) Result {
+	return e.p.Run(n, o)
+}
+
+// Estimate is the one-call convenience form: it runs the fast-preset
+// protocol on n agents with the given seed and returns the estimate of
+// log₂ n together with the true value.
+func Estimate(n int, seed uint64) (estimate, truth float64, err error) {
+	e, err := New(FastConfig())
+	if err != nil {
+		return 0, 0, err
+	}
+	res := e.Run(n, RunOptions{Seed: seed})
+	if !res.Converged {
+		return 0, 0, fmt.Errorf("popsize: protocol did not converge on n=%d within the default budget", n)
+	}
+	return res.Estimate, math.Log2(float64(n)), nil
+}
+
+// WeakEstimate runs the [2]-style baseline (one geometric random variable
+// per agent, maximum by epidemic): a constant-multiplicative-factor
+// estimate k of log₂ n (√n <= 2^k <= poly(n)) in O(log n) time. It is the
+// first step of the main protocol and the weak estimate of the §1.1
+// composition scheme.
+func WeakEstimate(n int, seed uint64) (k int, err error) {
+	s := approxsize.NewSim(n, pop.WithSeed(seed))
+	logN := math.Log2(float64(n))
+	ok, _ := s.RunUntil(approxsize.Converged, 1, 200*logN+100)
+	if !ok {
+		return 0, fmt.Errorf("popsize: weak estimate did not propagate on n=%d", n)
+	}
+	return int(s.Agent(0).K), nil
+}

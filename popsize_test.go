@@ -1,0 +1,85 @@
+package popsize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs are not short")
+	}
+	est, truth, err := Estimate(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > ErrorBound+1 {
+		t.Errorf("Estimate = %.2f, truth %.2f: error beyond bound+slack", est, truth)
+	}
+}
+
+func TestWeakEstimate(t *testing.T) {
+	k, err := WeakEstimate(4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN := math.Log2(4096)
+	if float64(k) < logN-math.Log2(math.Log(4096))-1 || float64(k) > 2*logN+1 {
+		t.Errorf("WeakEstimate = %d outside the [2]-style interval around %.1f", k, logN)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs are not short")
+	}
+	est, truth, err := EstimateDeterministic(512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > ErrorBound+1 {
+		t.Errorf("EstimateDeterministic = %.2f, truth %.2f", est, truth)
+	}
+}
+
+func TestEstimateUpperBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs are not short")
+	}
+	bound, truth, err := EstimateUpperBound(150, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound < truth {
+		t.Errorf("EstimateUpperBound = %.2f < log n = %.2f (probability-1 guarantee broken)", bound, truth)
+	}
+}
+
+func TestEstimateTerminating(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs are not short")
+	}
+	res, err := EstimateTerminating(512, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConvergedFirst {
+		t.Error("termination fired before convergence")
+	}
+	logN := math.Log2(512)
+	if math.Abs(res.Estimate-logN) > ErrorBound+1 {
+		t.Errorf("estimate at termination = %.2f, truth %.2f", res.Estimate, logN)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestFailureProbability(t *testing.T) {
+	if got := FailureProbability(900); got != 0.01 {
+		t.Errorf("FailureProbability(900) = %v, want 0.01", got)
+	}
+}
