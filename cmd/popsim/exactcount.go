@@ -7,9 +7,9 @@ import (
 	"github.com/popsim/popsize/internal/pop"
 )
 
-func runExactCount(n int, seed uint64, trial int) error {
+func runExactCount(n int, seed uint64, trial int, backend pop.Backend) error {
 	p := exactcount.New(0)
-	s := p.NewSim(n, pop.WithSeed(seed))
+	s := p.NewEngine(n, pop.WithSeed(seed), pop.WithBackend(backend))
 	ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
 	if !ok {
 		return fmt.Errorf("exact count never terminated on n=%d", n)

@@ -18,6 +18,7 @@ import (
 
 	"github.com/popsim/popsize"
 	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/pop"
 )
 
 func main() {
@@ -33,7 +34,13 @@ func run() error {
 	trials := flag.Int("trials", 3, "number of independent runs")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	paper := flag.Bool("paper", false, "use the paper's constants (95/5) instead of the fast preset")
+	backendFlag := flag.String("backend", "auto", "simulation backend for main/weak/exactcount: auto|seq|batch")
 	flag.Parse()
+
+	backend, err := pop.ParseBackend(*backendFlag)
+	if err != nil {
+		return err
+	}
 
 	logN := math.Log2(float64(*n))
 	fmt.Printf("protocol=%s n=%d log2(n)=%.3f trials=%d\n", *protocol, *n, logN, *trials)
@@ -51,7 +58,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			r := est.Run(*n, popsize.RunOptions{Seed: s})
+			r := est.Run(*n, popsize.RunOptions{Seed: s, Backend: backend})
 			fmt.Printf("trial %d: converged=%v time=%.1f estimate=%.3f err=%.3f states(A)=%d\n",
 				t, r.Converged, r.Time, r.Estimate, math.Abs(r.Estimate-logN), r.CountA)
 		case "synthcoin":
@@ -74,13 +81,13 @@ func run() error {
 			fmt.Printf("trial %d: terminated_at=%.1f converged_first=%v estimate=%.3f\n",
 				t, r.TerminatedAt, r.ConvergedFirst, r.Estimate)
 		case "weak":
-			k, err := popsize.WeakEstimate(*n, s)
+			k, err := popsize.WeakEstimateBackend(*n, s, backend)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("trial %d: k=%d k/log2(n)=%.3f\n", t, k, float64(k)/logN)
 		case "exactcount":
-			if err := runExactCount(*n, s, t); err != nil {
+			if err := runExactCount(*n, s, t, backend); err != nil {
 				return err
 			}
 		default:

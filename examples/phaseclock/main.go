@@ -30,7 +30,7 @@ func main() {
 	for _, m := range []int{500, 4000, 32000} {
 		sim := pop.New(m, ld.Initial, ld.Rule, pop.WithSeed(4))
 		const phases = 40
-		sim.RunUntil(func(s *pop.Sim[clock.LeaderState]) bool {
+		sim.RunUntil(func(s pop.Engine[clock.LeaderState]) bool {
 			return clock.LeaderPhase(s) >= phases
 		}, 1, 1e7)
 		fmt.Printf("  n = %6d: %d phases in %6.0f time units (%.2f per phase; ln n = %.1f)\n",

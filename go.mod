@@ -1,0 +1,3 @@
+module github.com/popsim/popsize
+
+go 1.24

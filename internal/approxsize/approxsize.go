@@ -46,12 +46,31 @@ func Rule(rec, sen State, _ *rand.Rand) (State, State) {
 // Converged reports whether all agents agree (the maximum has reached
 // everyone). Note the protocol itself cannot detect this — Theorem 4.1 —
 // so this predicate exists only for external measurement.
-func Converged(s *pop.Sim[State]) bool {
-	k := s.Agent(0).K
-	return s.All(func(a State) bool { return a.K == k })
+func Converged(s pop.Engine[State]) bool {
+	_, ok := CommonK(s)
+	return ok
 }
 
-// NewSim constructs a simulator for the baseline.
+// CommonK returns the population-wide value k once the maximum has reached
+// every agent, or false while agents still disagree.
+func CommonK(s pop.Engine[State]) (uint8, bool) {
+	c := s.Counts()
+	if len(c) != 1 {
+		return 0, false
+	}
+	for a := range c {
+		return a.K, true
+	}
+	return 0, false
+}
+
+// NewSim constructs a sequential simulator for the baseline.
 func NewSim(n int, opts ...pop.Option) *pop.Sim[State] {
 	return pop.New(n, Initial, Rule, opts...)
+}
+
+// NewEngine constructs a simulation engine for the baseline; the backend
+// is chosen with pop.WithBackend.
+func NewEngine(n int, opts ...pop.Option) pop.Engine[State] {
+	return pop.NewEngine(n, Initial, Rule, opts...)
 }

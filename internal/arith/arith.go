@@ -72,8 +72,29 @@ func pick(isX bool) Species {
 	return Q
 }
 
+// NewDoubleEngine is NewDouble with a backend selectable via
+// pop.WithBackend.
+func NewDoubleEngine(n, x int, opts ...pop.Option) pop.Engine[Species] {
+	if 2*x > n {
+		panic("arith: doubling requires x <= n/2")
+	}
+	return pop.NewEngine(n, func(i int, _ *rand.Rand) Species {
+		return pick(i < x)
+	}, DoubleRule, opts...)
+}
+
+// NewHalveEngine is NewHalve with a backend selectable via pop.WithBackend.
+func NewHalveEngine(n, x int, opts ...pop.Option) pop.Engine[Species] {
+	if x > n {
+		panic("arith: x > n")
+	}
+	return pop.NewEngine(n, func(i int, _ *rand.Rand) Species {
+		return pick(i < x)
+	}, HalveRule, opts...)
+}
+
 // Count returns the number of agents of the given species.
-func Count(s *pop.Sim[Species], sp Species) int {
+func Count(s pop.Engine[Species], sp Species) int {
 	return s.Count(func(a Species) bool { return a == sp })
 }
 
@@ -82,7 +103,7 @@ func Count(s *pop.Sim[Species], sp Species) int {
 // Q)… precisely: halving leaves ⌈x/2⌉ Y if x even, and one X stuck if x is
 // odd (the classic parity remainder), in which case convergence means one
 // X left.
-func Converged(s *pop.Sim[Species], odd bool) bool {
+func Converged(s pop.Engine[Species], odd bool) bool {
 	x := Count(s, X)
 	if odd {
 		return x == 1
@@ -91,11 +112,11 @@ func Converged(s *pop.Sim[Species], odd bool) bool {
 }
 
 // CompletionTime runs until Converged and returns the parallel time taken.
-func CompletionTime(s *pop.Sim[Species], odd bool, maxTime float64) (float64, bool) {
+func CompletionTime(s pop.Engine[Species], odd bool, maxTime float64) (float64, bool) {
 	return completion(s, odd, maxTime)
 }
 
-func completion(s *pop.Sim[Species], odd bool, maxTime float64) (float64, bool) {
-	done, at := s.RunUntil(func(s *pop.Sim[Species]) bool { return Converged(s, odd) }, 0.5, maxTime)
+func completion(s pop.Engine[Species], odd bool, maxTime float64) (float64, bool) {
+	done, at := s.RunUntil(func(s pop.Engine[Species]) bool { return Converged(s, odd) }, 0.5, maxTime)
 	return at, done
 }

@@ -69,7 +69,7 @@ func TestLeaderDrivenPhaseGrowth(t *testing.T) {
 	timeFor := func(n int) float64 {
 		var ld LeaderDriven
 		s := pop.New(n, ld.Initial, ld.Rule, pop.WithSeed(11))
-		ok, at := s.RunUntil(func(s *pop.Sim[LeaderState]) bool {
+		ok, at := s.RunUntil(func(s pop.Engine[LeaderState]) bool {
 			return LeaderPhase(s) >= phases
 		}, 1, 1e7)
 		if !ok {

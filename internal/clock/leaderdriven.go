@@ -46,12 +46,14 @@ func advance(a, b LeaderState) LeaderState {
 	return a
 }
 
-// LeaderPhase returns the phase of the (first) leader agent.
-func LeaderPhase(s *pop.Sim[LeaderState]) uint32 {
-	for _, a := range s.Agents() {
-		if a.Leader {
-			return a.Phase
+// LeaderPhase returns the phase of the leader agent (the maximum over
+// leaders if several were configured).
+func LeaderPhase(s pop.Engine[LeaderState]) uint32 {
+	var m uint32
+	for a := range s.Counts() {
+		if a.Leader && a.Phase > m {
+			m = a.Phase
 		}
 	}
-	return 0
+	return m
 }

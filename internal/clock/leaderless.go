@@ -68,9 +68,9 @@ func (c Leaderless) tick(a LeaderlessState) LeaderlessState {
 }
 
 // MinRound returns the smallest round among agents.
-func MinRound(s *pop.Sim[LeaderlessState]) uint32 {
+func MinRound(s pop.Engine[LeaderlessState]) uint32 {
 	m := ^uint32(0)
-	for _, a := range s.Agents() {
+	for a := range s.Counts() {
 		if a.Round < m {
 			m = a.Round
 		}
@@ -79,9 +79,9 @@ func MinRound(s *pop.Sim[LeaderlessState]) uint32 {
 }
 
 // MaxRound returns the largest round among agents.
-func MaxRound(s *pop.Sim[LeaderlessState]) uint32 {
+func MaxRound(s pop.Engine[LeaderlessState]) uint32 {
 	var m uint32
-	for _, a := range s.Agents() {
+	for a := range s.Counts() {
 		if a.Round > m {
 			m = a.Round
 		}

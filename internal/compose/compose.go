@@ -180,9 +180,19 @@ func (p *Protocol[D]) enterStage(a State[D], stage uint16, r *rand.Rand) State[D
 
 // Converged reports that all agents share the weak estimate and have
 // completed all stages.
-func (p *Protocol[D]) Converged(s *pop.Sim[State[D]]) bool {
-	est := s.Agent(0).S
-	return s.All(func(a State[D]) bool { return a.S == est && a.Done })
+func (p *Protocol[D]) Converged(s pop.Engine[State[D]]) bool {
+	first := true
+	var est uint8
+	return s.All(func(a State[D]) bool {
+		if !a.Done {
+			return false
+		}
+		if first {
+			est, first = a.S, false
+			return true
+		}
+		return a.S == est
+	})
 }
 
 // NewSim constructs a simulator for the wrapped protocol.

@@ -2,43 +2,49 @@ package core
 
 import (
 	"math"
-	"math/rand/v2"
+	"sort"
 
 	"github.com/popsim/popsize/internal/pop"
 )
 
 // Converged reports the paper's Figure-2 convergence criterion plus output
 // delivery: every agent has a role, all agents agree on logSize2, every
-// agent has completed all K epochs, and every agent holds an output.
-func (p *Protocol) Converged(s *pop.Sim[State]) bool {
-	ags := s.Agents()
-	ls := ags[0].LogSize2
-	for _, a := range ags {
-		if a.Role == RoleX || a.LogSize2 != ls || !a.HasOutput {
+// agent has completed all K epochs, and every agent holds an output. It is
+// expressed over the configuration vector, so it costs O(live states) on
+// the batched engine.
+func (p *Protocol) Converged(s pop.Engine[State]) bool {
+	first := true
+	var ls uint8
+	return s.All(func(a State) bool {
+		if a.Role == RoleX || !a.HasOutput {
 			return false
 		}
-		if uint32(a.Epoch) < p.cfg.EpochTarget(a.LogSize2) {
+		if first {
+			ls, first = a.LogSize2, false
+		} else if a.LogSize2 != ls {
 			return false
 		}
-	}
-	return true
+		return uint32(a.Epoch) >= p.cfg.EpochTarget(a.LogSize2)
+	})
 }
 
 // ConvergedEpoch reports the strict Figure-2 criterion from the paper's
 // caption: all agents have reached epoch = EpochFactor·logSize2 (with a
 // common logSize2), without requiring output delivery.
-func (p *Protocol) ConvergedEpoch(s *pop.Sim[State]) bool {
-	ags := s.Agents()
-	ls := ags[0].LogSize2
-	for _, a := range ags {
-		if a.Role == RoleX || a.LogSize2 != ls {
+func (p *Protocol) ConvergedEpoch(s pop.Engine[State]) bool {
+	first := true
+	var ls uint8
+	return s.All(func(a State) bool {
+		if a.Role == RoleX {
 			return false
 		}
-		if uint32(a.Epoch) < p.cfg.EpochTarget(a.LogSize2) {
+		if first {
+			ls, first = a.LogSize2, false
+		} else if a.LogSize2 != ls {
 			return false
 		}
-	}
-	return true
+		return uint32(a.Epoch) >= p.cfg.EpochTarget(a.LogSize2)
+	})
 }
 
 // EstimateStats summarizes the outputs across a population.
@@ -54,20 +60,36 @@ type EstimateStats struct {
 }
 
 // Estimates returns output statistics for the current configuration of s.
-func Estimates(s *pop.Sim[State]) EstimateStats {
+func Estimates(s pop.Engine[State]) EstimateStats {
 	logN := math.Log2(float64(s.N()))
 	st := EstimateStats{Min: math.Inf(1), Max: math.Inf(-1)}
-	sum := 0.0
-	for _, a := range s.Agents() {
+	// Counts iterates in map order; accumulate the mean over a sorted
+	// copy so the floating-point result is deterministic for a seed.
+	type weighted struct {
+		est float64
+		cnt int
+	}
+	var ests []weighted
+	for a, cnt := range s.Counts() {
 		est, ok := a.Estimate()
 		if !ok {
 			continue
 		}
-		st.HaveOutput++
-		sum += est
+		ests = append(ests, weighted{est, cnt})
+		st.HaveOutput += cnt
 		st.Min = math.Min(st.Min, est)
 		st.Max = math.Max(st.Max, est)
 		st.MaxErr = math.Max(st.MaxErr, math.Abs(est-logN))
+	}
+	sort.Slice(ests, func(i, j int) bool {
+		if ests[i].est != ests[j].est {
+			return ests[i].est < ests[j].est
+		}
+		return ests[i].cnt < ests[j].cnt
+	})
+	sum := 0.0
+	for _, w := range ests {
+		sum += w.est * float64(w.cnt)
 	}
 	if st.HaveOutput > 0 {
 		st.Mean = sum / float64(st.HaveOutput)
@@ -89,9 +111,9 @@ type FieldMaxima struct {
 }
 
 // Maxima scans the configuration and returns per-field maxima.
-func Maxima(s *pop.Sim[State]) FieldMaxima {
+func Maxima(s pop.Engine[State]) FieldMaxima {
 	var m FieldMaxima
-	for _, a := range s.Agents() {
+	for a := range s.Counts() {
 		m.LogSize2 = max(m.LogSize2, a.LogSize2)
 		m.GR = max(m.GR, a.GR)
 		m.Time = max(m.Time, a.Time)
@@ -115,12 +137,13 @@ type Result struct {
 	Estimate float64
 	// MaxErr is the largest |estimate − log2 n| over all agents.
 	MaxErr float64
-	// DistinctStates is the number of distinct states observed (0 unless
-	// state tracking was requested).
+	// DistinctStates is the number of distinct states observed (0 on the
+	// sequential backend unless state tracking was requested).
 	DistinctStates int
 	// CountA is the number of A-role agents at the end of the run.
 	CountA int
-	// LogSize2 is the common raw logSize2 value at the end of the run.
+	// LogSize2 is the common raw logSize2 value at the end of the run
+	// (the maximum across agents if the run has not converged).
 	LogSize2 int
 }
 
@@ -128,6 +151,9 @@ type Result struct {
 type RunOptions struct {
 	// Seed seeds the simulation (default 0, still deterministic).
 	Seed uint64
+	// Backend selects the simulation engine (default pop.Auto: batched
+	// for large populations, sequential otherwise).
+	Backend pop.Backend
 	// MaxTime bounds the run in parallel time; 0 selects a generous
 	// default that scales as log² n.
 	MaxTime float64
@@ -147,11 +173,11 @@ func (p *Protocol) DefaultMaxTime(n int) float64 {
 
 // Run executes one complete trial on n agents and returns its Result.
 func (p *Protocol) Run(n int, o RunOptions) Result {
-	opts := []pop.Option{pop.WithSeed(o.Seed)}
+	opts := []pop.Option{pop.WithSeed(o.Seed), pop.WithBackend(o.Backend)}
 	if o.TrackStates {
 		opts = append(opts, pop.WithStateTracking())
 	}
-	s := pop.New(n, p.Initial, p.Rule, opts...)
+	s := p.NewEngine(n, opts...)
 	maxTime := o.MaxTime
 	if maxTime <= 0 {
 		maxTime = p.DefaultMaxTime(n)
@@ -170,14 +196,18 @@ func (p *Protocol) Run(n int, o RunOptions) Result {
 		MaxErr:         est.MaxErr,
 		DistinctStates: s.DistinctStates(),
 		CountA:         s.Count(func(a State) bool { return a.Role == RoleA }),
-		LogSize2:       int(s.Agent(0).LogSize2),
+		LogSize2:       int(Maxima(s).LogSize2),
 	}
 }
 
-// NewSim constructs a ready-to-step simulator for the protocol, for callers
-// that need finer control than Run (experiments, examples).
+// NewSim constructs a ready-to-step sequential simulator for the protocol,
+// for callers that need per-agent access (experiments, examples).
 func (p *Protocol) NewSim(n int, opts ...pop.Option) *pop.Sim[State] {
 	return pop.New(n, p.Initial, p.Rule, opts...)
 }
 
-var _ = rand.Int // keep math/rand/v2 imported for doc references
+// NewEngine constructs a simulation engine for the protocol; the backend
+// is chosen with pop.WithBackend (default pop.Auto).
+func (p *Protocol) NewEngine(n int, opts ...pop.Option) pop.Engine[State] {
+	return pop.NewEngine(n, p.Initial, p.Rule, opts...)
+}

@@ -33,7 +33,7 @@ func TestRestartStorm(t *testing.T) {
 
 	// The storm must spread: soon every agent carries the new estimate
 	// with its old output gone, and then reconverges under the new K.
-	ok, _ = s2.RunUntil(func(s *pop.Sim[State]) bool {
+	ok, _ = s2.RunUntil(func(s pop.Engine[State]) bool {
 		return s.All(func(a State) bool { return a.LogSize2 == newLS })
 	}, 5, 10000)
 	if !ok {

@@ -57,15 +57,33 @@ func NewSubpop(n, members, infected int, opts ...pop.Option) *pop.Sim[State] {
 	}, Rule, opts...)
 }
 
+// NewEngine is New with a backend selectable via pop.WithBackend.
+func NewEngine(n, infected int, opts ...pop.Option) pop.Engine[State] {
+	return pop.NewEngine(n, func(i int, _ *rand.Rand) State {
+		return State{Val: boolToInt(i < infected), Member: true}
+	}, Rule, opts...)
+}
+
+// NewSubpopEngine is NewSubpop with a backend selectable via
+// pop.WithBackend.
+func NewSubpopEngine(n, members, infected int, opts ...pop.Option) pop.Engine[State] {
+	if infected > members || members > n {
+		panic("epidemic: need infected <= members <= n")
+	}
+	return pop.NewEngine(n, func(i int, _ *rand.Rand) State {
+		return State{Val: boolToInt(i < infected), Member: i < members}
+	}, Rule, opts...)
+}
+
 // Done reports whether every member agent holds the maximum (value 1 for
 // populations built by New/NewSubpop).
-func Done(s *pop.Sim[State]) bool {
+func Done(s pop.Engine[State]) bool {
 	return s.All(func(a State) bool { return !a.Member || a.Val == 1 })
 }
 
 // CompletionTime runs the epidemic to completion and returns the parallel
 // time it took. maxTime bounds the run; ok is false on timeout.
-func CompletionTime(s *pop.Sim[State], maxTime float64) (t float64, ok bool) {
+func CompletionTime(s pop.Engine[State], maxTime float64) (t float64, ok bool) {
 	done, at := s.RunUntil(Done, 0.25, maxTime)
 	return at, done
 }

@@ -88,22 +88,33 @@ func (p *Protocol) meet(a, b State) (State, State) {
 	return a, b
 }
 
-// LeaderCount returns the leader's current tally.
-func LeaderCount(s *pop.Sim[State]) int {
-	for _, a := range s.Agents() {
-		if a.Leader {
-			return int(a.Count)
+// LeaderCount returns the leader's current tally (the maximum over leader
+// states, so mid-run results are deterministic for a seed even while the
+// leader's old state lingers in a snapshot).
+func LeaderCount(s pop.Engine[State]) int {
+	m := 0
+	for a := range s.Counts() {
+		if a.Leader && int(a.Count) > m {
+			m = int(a.Count)
 		}
 	}
-	return 0
+	return m
 }
 
 // Terminated reports whether any agent carries the termination signal.
-func Terminated(s *pop.Sim[State]) bool {
+func Terminated(s pop.Engine[State]) bool {
 	return s.Any(func(a State) bool { return a.Terminated })
 }
 
-// NewSim constructs a simulator for the protocol.
+// NewSim constructs a sequential simulator for the protocol.
 func (p *Protocol) NewSim(n int, opts ...pop.Option) *pop.Sim[State] {
 	return pop.New(n, p.Initial, p.Rule, opts...)
+}
+
+// NewEngine constructs a simulation engine for the protocol; the backend
+// is chosen with pop.WithBackend. The protocol cycles through Θ(n log n)
+// leader states over a run, but only a handful are live at a time, so the
+// batched engine applies (its interning tables compact dead states).
+func (p *Protocol) NewEngine(n int, opts ...pop.Option) pop.Engine[State] {
+	return pop.NewEngine(n, p.Initial, p.Rule, opts...)
 }

@@ -19,7 +19,7 @@ func Arithmetic(ns []int, trials int, seedBase uint64) stats.Table {
 	}
 	for _, n := range ns {
 		dts := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := arith.NewDouble(n, n/4, pop.WithSeed(seedBase+uint64(tr)*83))
+			s := arith.NewDoubleEngine(n, n/4, pop.WithSeed(seedBase+uint64(tr)*83), engineOpt())
 			at, ok := arith.CompletionTime(s, false, 1e6)
 			if !ok {
 				return math.NaN()
@@ -27,7 +27,7 @@ func Arithmetic(ns []int, trials int, seedBase uint64) stats.Table {
 			return at
 		})
 		hts := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := arith.NewHalve(n, n/4, pop.WithSeed(seedBase+uint64(tr)*89))
+			s := arith.NewHalveEngine(n, n/4, pop.WithSeed(seedBase+uint64(tr)*89), engineOpt())
 			at, ok := arith.CompletionTime(s, (n/4)%2 == 1, 1e8)
 			if !ok {
 				return math.NaN()

@@ -1,0 +1,23 @@
+package expt
+
+import (
+	"sync/atomic"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// backend holds the simulation backend used by every generator in this
+// package (default pop.Auto). cmd/experiments and cmd/fig2 set it from
+// their -backend flag before running; generators that inherently need
+// per-agent data (e.g. InteractionConcentration) stay on the sequential
+// engine regardless.
+var backend atomic.Int32
+
+// SetBackend selects the simulation backend for subsequent generator runs.
+func SetBackend(b pop.Backend) { backend.Store(int32(b)) }
+
+// Backend returns the currently selected simulation backend.
+func Backend() pop.Backend { return pop.Backend(backend.Load()) }
+
+// engineOpt returns the pop option encoding the selected backend.
+func engineOpt() pop.Option { return pop.WithBackend(Backend()) }

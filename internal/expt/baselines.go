@@ -30,9 +30,11 @@ func Baselines(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Tab
 
 		ratios := make([]float64, trials)
 		apxTimes := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := approxsize.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*61))
+			s := approxsize.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*61), engineOpt())
 			ok, at := s.RunUntil(approxsize.Converged, 1, 100*logN)
-			ratios[tr] = float64(s.Agent(0).K) / logN
+			if k, has := approxsize.CommonK(s); has {
+				ratios[tr] = float64(k) / logN
+			}
 			if !ok {
 				return math.NaN()
 			}
@@ -41,14 +43,14 @@ func Baselines(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Tab
 
 		mainErrs := make([]float64, trials)
 		mainTimes := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := mp.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*67})
+			r := mp.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*67, Backend: Backend()})
 			mainErrs[tr] = r.MaxErr
 			return r.Time
 		})
 
 		correct := make([]bool, trials)
 		exactTimes := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := ep.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*71))
+			s := ep.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*71), engineOpt())
 			ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
 			correct[tr] = exactcount.LeaderCount(s) == n
 			if !ok {

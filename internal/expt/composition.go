@@ -63,7 +63,7 @@ func Composition(n int, margins []float64, trials int, seedBase uint64) stats.Ta
 		ok, at := s.RunUntil(p.Converged, 10, 5e5)
 		if ok {
 			// The coin-flip tiebreak continues after the staged rounds.
-			s.RunUntil(func(s *pop.Sim[compose.State[leaderelect.State]]) bool {
+			s.RunUntil(func(s pop.Engine[compose.State[leaderelect.State]]) bool {
 				return leaderelect.Candidates(s) == 1
 			}, 10, 1e5)
 		}

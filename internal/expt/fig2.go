@@ -38,7 +38,7 @@ func Fig2(cfg core.Config, ns []int, trials int, seedBase uint64) Fig2Result {
 		times := make([]float64, trials)
 		errs := make([]float64, trials)
 		rts := stats.ParallelTrials(trials, func(t int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(t)*1001})
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(t)*1001, Backend: Backend()})
 			errs[t] = r.MaxErr
 			if !r.Converged {
 				return math.NaN()

@@ -23,7 +23,7 @@ func ErrorDistribution(cfg core.Config, ns []int, trials int, seedBase uint64) s
 	}
 	for _, n := range ns {
 		errs := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*7919})
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*7919, Backend: Backend()})
 			return r.MaxErr
 		})
 		over := 0
@@ -54,7 +54,7 @@ func StateCount(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Ta
 	for _, n := range ns {
 		maxima := make([]core.FieldMaxima, trials)
 		counts := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*53), pop.WithStateTracking())
+			s := p.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*53), pop.WithStateTracking(), engineOpt())
 			// Sample field maxima along the run (a converged snapshot has
 			// all clocks reset, which would under-report the time field).
 			var fm core.FieldMaxima
@@ -105,7 +105,7 @@ func Partition(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Tab
 	}
 	for _, n := range ns {
 		devs := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*131))
+			s := p.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*131), engineOpt())
 			s.RunTime(8 * math.Log2(float64(n)))
 			a := s.Count(func(st core.State) bool { return st.Role == core.RoleA })
 			return math.Abs(float64(a) - float64(n)/2)
@@ -135,9 +135,10 @@ func LogSize2Range(cfg core.Config, ns []int, trials int, seedBase uint64) stats
 	for _, n := range ns {
 		lo, hi := prob.LogSize2Interval(n)
 		vals := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*977))
+			s := p.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*977), engineOpt())
 			s.RunTime(10 * math.Log2(float64(n)))
-			return float64(s.Agent(0).LogSize2 + uint8(cfg.GeomBonus))
+			// By this time the maximum has propagated to all agents.
+			return float64(core.Maxima(s).LogSize2 + uint8(cfg.GeomBonus))
 		})
 		outside := 0
 		for _, v := range vals {
@@ -153,7 +154,9 @@ func LogSize2Range(cfg core.Config, ns []int, trials int, seedBase uint64) stats
 }
 
 // InteractionConcentration is E7: Lemma 3.6 — in C·ln n time no agent has
-// more than D·ln n = (2C+√12C)·ln n interactions, w.p. >= 1 − 1/n.
+// more than D·ln n = (2C+√12C)·ln n interactions, w.p. >= 1 − 1/n. It
+// needs per-agent interaction counts, which only the sequential engine
+// provides, so it ignores the package backend setting.
 func InteractionConcentration(ns []int, trials int, seedBase uint64) stats.Table {
 	const c = 3.0
 	d := prob.InteractionCountD(c)
@@ -198,7 +201,7 @@ func AblationClockFactor(n int, factors []int, trials int, seedBase uint64) stat
 		p := core.MustNew(cfg)
 		errs := make([]float64, trials)
 		times := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*17})
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*17, Backend: Backend()})
 			errs[tr] = r.MaxErr
 			return r.Time
 		})
@@ -224,7 +227,7 @@ func AblationEpochFactor(n int, factors []int, trials int, seedBase uint64) stat
 		errs := make([]float64, trials)
 		ks := make([]float64, trials)
 		times := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*29})
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*29, Backend: Backend()})
 			errs[tr] = r.MaxErr
 			ks[tr] = float64(cfg.EpochTarget(uint8(r.LogSize2)))
 			return r.Time
@@ -248,7 +251,7 @@ func AblationNoRestart(n int, trials int, seedBase uint64) stats.Table {
 		p := core.MustNew(cfg)
 		converged := make([]bool, trials)
 		errs := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*43})
+			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*43, Backend: Backend()})
 			converged[tr] = r.Converged
 			return r.MaxErr
 		})

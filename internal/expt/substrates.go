@@ -20,7 +20,7 @@ func Epidemic(ns []int, trials int, seedBase uint64) stats.Table {
 	}
 	for _, n := range ns {
 		full := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := epidemic.New(n, 1, pop.WithSeed(seedBase+uint64(tr)*7))
+			s := epidemic.NewEngine(n, 1, pop.WithSeed(seedBase+uint64(tr)*7), engineOpt())
 			at, ok := epidemic.CompletionTime(s, 1e6)
 			if !ok {
 				return math.NaN()
@@ -28,7 +28,7 @@ func Epidemic(ns []int, trials int, seedBase uint64) stats.Table {
 			return at
 		})
 		sub := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := epidemic.NewSubpop(n, n/3, 1, pop.WithSeed(seedBase+uint64(tr)*13))
+			s := epidemic.NewSubpopEngine(n, n/3, 1, pop.WithSeed(seedBase+uint64(tr)*13), engineOpt())
 			at, ok := epidemic.CompletionTime(s, 1e7)
 			if !ok {
 				return math.NaN()
@@ -128,8 +128,8 @@ func Depletion(ns []int, trials int, seedBase uint64) stats.Table {
 	for _, n := range ns {
 		k := n / 2
 		mins := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := pop.New(n, func(i int, _ *rand.Rand) bool { return i < k }, consume,
-				pop.WithSeed(seedBase+uint64(tr)*19))
+			s := pop.NewEngine(n, func(i int, _ *rand.Rand) bool { return i < k }, consume,
+				pop.WithSeed(seedBase+uint64(tr)*19), engineOpt())
 			minFrac := 1.0
 			for step := 0; step < 20; step++ {
 				s.RunTime(0.05)

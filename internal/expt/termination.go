@@ -63,7 +63,7 @@ func TerminationDense(cfg core.Config, ns []int, trials int, seedBase uint64) st
 	lp := leaderterm.MustNew(cfg, 0)
 	for _, n := range ns {
 		dense := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := pop.New(n, ct.Initial, ct.Rule, pop.WithSeed(seedBase+uint64(tr)*11))
+			s := pop.NewEngine(n, ct.Initial, ct.Rule, pop.WithSeed(seedBase+uint64(tr)*11), engineOpt())
 			at, ok := term.FirstTermination(s, term.Terminated, 0.5, 1e5)
 			if !ok {
 				return math.NaN()
@@ -71,7 +71,7 @@ func TerminationDense(cfg core.Config, ns []int, trials int, seedBase uint64) st
 			return at
 		})
 		leader := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := lp.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*23))
+			s := lp.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*23), engineOpt())
 			at, ok := term.FirstTermination(s, leaderterm.Terminated, 5, 100*lp.Main().DefaultMaxTime(n))
 			if !ok {
 				return math.NaN()
@@ -98,7 +98,7 @@ func LeaderTermination(cfg core.Config, ns []int, trials int, seedBase uint64) s
 		early := make([]bool, trials)
 		errs := make([]float64, trials)
 		times := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*31))
+			s := p.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*31), engineOpt())
 			at, ok := term.FirstTermination(s, leaderterm.Terminated, 2, 100*p.Main().DefaultMaxTime(n))
 			if !ok {
 				return math.NaN()
@@ -106,7 +106,7 @@ func LeaderTermination(cfg core.Config, ns []int, trials int, seedBase uint64) s
 			early[tr] = !p.MainConverged(s)
 			logN := math.Log2(float64(n))
 			maxErr := 0.0
-			for _, a := range s.Agents() {
+			for a := range s.Counts() {
 				if est, has := a.Main.Estimate(); has {
 					maxErr = math.Max(maxErr, math.Abs(est-logN))
 				}

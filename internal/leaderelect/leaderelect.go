@@ -83,7 +83,7 @@ func Downstream() compose.Downstream[State] {
 }
 
 // Candidates counts surviving candidates in a composed simulation.
-func Candidates(s *pop.Sim[compose.State[State]]) int {
+func Candidates(s pop.Engine[compose.State[State]]) int {
 	return s.Count(func(a compose.State[State]) bool { return a.D.Candidate })
 }
 

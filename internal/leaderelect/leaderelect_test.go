@@ -37,7 +37,7 @@ func TestElectsUniqueLeader(t *testing.T) {
 			t.Fatalf("seed %d: composition did not converge", seed)
 		}
 		// The coin-flip tiebreak keeps running; give it a little time.
-		ok, _ = s.RunUntil(func(s *pop.Sim[compose.State[State]]) bool {
+		ok, _ = s.RunUntil(func(s pop.Engine[compose.State[State]]) bool {
 			return Candidates(s) == 1
 		}, 10, 1e5)
 		if !ok {

@@ -117,35 +117,43 @@ func (p *Protocol) tick(a State, prevLogSize2 uint8) State {
 }
 
 // Terminated reports whether any agent has raised the termination signal.
-func Terminated(s *pop.Sim[State]) bool {
+func Terminated(s pop.Engine[State]) bool {
 	return s.Any(func(a State) bool { return a.Terminated })
 }
 
 // AllTerminated reports whether the signal has reached every agent.
-func AllTerminated(s *pop.Sim[State]) bool {
+func AllTerminated(s pop.Engine[State]) bool {
 	return s.All(func(a State) bool { return a.Terminated })
 }
 
 // MainConverged reports whether the embedded main protocol satisfies its
 // convergence predicate.
-func (p *Protocol) MainConverged(s *pop.Sim[State]) bool {
-	ags := s.Agents()
-	ls := ags[0].Main.LogSize2
-	for _, a := range ags {
+func (p *Protocol) MainConverged(s pop.Engine[State]) bool {
+	first := true
+	var ls uint8
+	return s.All(func(a State) bool {
 		m := a.Main
-		if m.Role == core.RoleX || m.LogSize2 != ls || !m.HasOutput {
+		if m.Role == core.RoleX || !m.HasOutput {
 			return false
 		}
-		if uint32(m.Epoch) < p.main.Config().EpochTarget(m.LogSize2) {
+		if first {
+			ls, first = m.LogSize2, false
+		} else if m.LogSize2 != ls {
 			return false
 		}
-	}
-	return true
+		return uint32(m.Epoch) >= p.main.Config().EpochTarget(m.LogSize2)
+	})
 }
 
 // NewSim constructs a simulator for the protocol.
 func (p *Protocol) NewSim(n int, opts ...pop.Option) *pop.Sim[State] {
 	return pop.New(n, p.Initial, p.Rule, opts...)
+}
+
+// NewEngine constructs a simulation engine for the protocol; the backend
+// is chosen with pop.WithBackend.
+func (p *Protocol) NewEngine(n int, opts ...pop.Option) pop.Engine[State] {
+	return pop.NewEngine(n, p.Initial, p.Rule, opts...)
 }
 
 // Main exposes the embedded main protocol.

@@ -21,7 +21,7 @@ func TestTerminationAfterConvergence(t *testing.T) {
 			s := p.NewSim(n, pop.WithSeed(seed))
 			budget := 20 * p.Main().DefaultMaxTime(n)
 			convergedFirst := false
-			ok, at := s.RunUntil(func(s *pop.Sim[State]) bool {
+			ok, at := s.RunUntil(func(s pop.Engine[State]) bool {
 				if Terminated(s) {
 					return true
 				}

@@ -128,15 +128,15 @@ func SignedWeightNumerator(agents []State, cap uint8) int64 {
 }
 
 // Outputs tallies the current Output beliefs.
-func Outputs(s *pop.Sim[compose.State[State]]) (plus, minus, undecided int) {
-	for _, a := range s.Agents() {
+func Outputs(s pop.Engine[compose.State[State]]) (plus, minus, undecided int) {
+	for a, cnt := range s.Counts() {
 		switch a.D.Output {
 		case 1:
-			plus++
+			plus += cnt
 		case -1:
-			minus++
+			minus += cnt
 		default:
-			undecided++
+			undecided += cnt
 		}
 	}
 	return plus, minus, undecided

@@ -1,0 +1,358 @@
+package pop
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Toy protocols used by the white-box batch tests. (Tests inside package
+// pop cannot import the real protocol packages — they would form an import
+// cycle — so the cross-protocol equivalence suite lives in equiv_test.go,
+// package pop_test.)
+
+// maxRule is a deterministic two-way epidemic: both agents adopt the max.
+func maxRule(a, b int, _ *rand.Rand) (int, int) {
+	m := max(a, b)
+	return m, m
+}
+
+// coinRule consumes randomness on every invocation.
+func coinRule(a, b int, r *rand.Rand) (int, int) {
+	if r.IntN(2) == 0 {
+		return a, b
+	}
+	return b, a
+}
+
+// amRule is the 3-state approximate-majority protocol on {-1: B, 0: U, 1: A}.
+func amRule(rec, sen int, _ *rand.Rand) (int, int) {
+	switch {
+	case rec == 1 && sen == -1:
+		return 0, -1
+	case rec == -1 && sen == 1:
+		return 0, 1
+	case rec == 0 && sen != 0:
+		return sen, sen
+	}
+	return rec, sen
+}
+
+// explodeRule mints a fresh state per interaction: the receiver adopts
+// 1 + the largest value either agent has seen, so the number of live
+// states grows without bound until the fallback threshold trips.
+func explodeRule(a, b int, _ *rand.Rand) (int, int) {
+	return max(a, b) + 1, b
+}
+
+func countsSum[S comparable](e Engine[S]) int {
+	n := 0
+	for _, c := range e.Counts() {
+		n += c
+	}
+	return n
+}
+
+// TestBatchConservationEveryBatch asserts exact agent-count conservation
+// after every single batch, via the test hook that fires at batch commit.
+func TestBatchConservationEveryBatch(t *testing.T) {
+	const n = 2000
+	b := NewBatch(n, func(i int, _ *rand.Rand) int { return i % 7 }, amRule, WithSeed(11))
+	batches := 0
+	b.batchEvents = func(ell int, collided bool) {
+		batches++
+		if got := countsSum[int](b); got != n {
+			t.Fatalf("after batch %d (ell=%d, collided=%v): %d agents, want %d",
+				batches, ell, collided, got, n)
+		}
+		if b.total != int64(n) {
+			t.Fatalf("running total %d, want %d", b.total, n)
+		}
+	}
+	b.RunTime(30)
+	if batches == 0 {
+		t.Fatal("no batches executed")
+	}
+}
+
+// TestBatchRunExactInteractionCount verifies Run(k) executes exactly k
+// interactions for awkward k, including collision steps at batch ends.
+func TestBatchRunExactInteractionCount(t *testing.T) {
+	b := NewBatch(997, func(i int, _ *rand.Rand) int { return i % 3 }, amRule, WithSeed(5))
+	total := int64(0)
+	for _, k := range []int64{1, 2, 3, 17, 997, 12345, 7} {
+		b.Run(k)
+		total += k
+		if b.Interactions() != total {
+			t.Fatalf("after Run(%d): %d interactions, want %d", k, b.Interactions(), total)
+		}
+	}
+}
+
+// TestBatchRunLengths sanity-checks the collision-free run-length sampler:
+// the mean batch length for the birthday process is Θ(√n).
+func TestBatchRunLengths(t *testing.T) {
+	const n = 10000
+	b := NewBatch(n, func(int, *rand.Rand) int { return 0 }, amRule, WithSeed(2))
+	var sum, count float64
+	b.batchEvents = func(ell int, collided bool) {
+		if collided {
+			sum += float64(ell)
+			count++
+		}
+	}
+	b.RunTime(100)
+	if count < 100 {
+		t.Fatalf("only %v collision-terminated batches", count)
+	}
+	mean := sum / count
+	root := math.Sqrt(n)
+	if mean < 0.3*root || mean > 3*root {
+		t.Errorf("mean collision-free run %.1f, want Θ(√n) ≈ %.1f", mean, root)
+	}
+}
+
+// TestBatchFallbackTriggers: a state-exploding protocol must trip the
+// live-state threshold and switch to the materialized sequential mode.
+func TestBatchFallbackTriggers(t *testing.T) {
+	b := NewBatch(500, func(int, *rand.Rand) int { return 0 }, explodeRule,
+		WithSeed(3), WithBatchThreshold(32))
+	b.RunTime(40)
+	st := b.Stats()
+	if st.Fallbacks == 0 {
+		t.Fatalf("no fallback despite exploding states (live=%d)", b.LiveStates())
+	}
+	if st.SeqInteractions == 0 {
+		t.Error("fallback mode executed no interactions")
+	}
+	if got := countsSum[int](b); got != 500 {
+		t.Errorf("conservation after fallback: %d agents, want 500", got)
+	}
+}
+
+// TestBatchFallbackReentry: a population seeded with n distinct values
+// exceeds the threshold immediately, but the max-epidemic collapses it to
+// one live state, after which the engine must return to batch mode.
+func TestBatchFallbackReentry(t *testing.T) {
+	const n = 500
+	b := NewBatch(n, func(i int, _ *rand.Rand) int { return i }, maxRule,
+		WithSeed(7), WithBatchThreshold(64))
+	b.RunTime(80)
+	st := b.Stats()
+	if st.Fallbacks == 0 {
+		t.Fatal("expected an immediate fallback with n distinct initial states")
+	}
+	if st.Reentries == 0 {
+		t.Fatalf("no re-entry after collapse (live=%d)", b.LiveStates())
+	}
+	if !b.All(func(v int) bool { return v == n-1 }) {
+		t.Error("epidemic did not converge to the maximum")
+	}
+	if st.Batches == 0 {
+		t.Error("no batches ran after re-entry")
+	}
+}
+
+// TestBatchDeterminism: the same seed must reproduce the identical
+// configuration trajectory, checkpoint by checkpoint.
+func TestBatchDeterminism(t *testing.T) {
+	mk := func() *BatchSim[int] {
+		return NewBatch(5000, func(i int, _ *rand.Rand) int { return i % 5 }, amRule, WithSeed(9))
+	}
+	b1, b2 := mk(), mk()
+	for i := 0; i < 10; i++ {
+		b1.RunTime(2)
+		b2.RunTime(2)
+		if b1.Interactions() != b2.Interactions() {
+			t.Fatalf("interaction counts diverged: %d vs %d", b1.Interactions(), b2.Interactions())
+		}
+		if !reflect.DeepEqual(b1.Counts(), b2.Counts()) {
+			t.Fatalf("checkpoint %d: configurations diverged", i)
+		}
+	}
+}
+
+// TestBatchMatchesSequentialDistribution is a direct distributional check
+// of the batching machinery (including collision steps, which dominate at
+// tiny n): the full end-configuration distribution of approximate majority
+// at n=8 must agree across the sequential engine, batch Run, and the
+// multiset Step path.
+func TestBatchMatchesSequentialDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution comparison is not short")
+	}
+	const n, T, trials = 8, 4, 12000
+	initial := func(i int, _ *rand.Rand) int {
+		if i < 5 {
+			return 1
+		}
+		return -1
+	}
+	signature := func(e Engine[int]) string {
+		c := e.Counts()
+		keys := make([]int, 0, len(c))
+		for k := range c {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		s := ""
+		for _, k := range keys {
+			s += fmt.Sprintf("%d:%d;", k, c[k])
+		}
+		return s
+	}
+	run := func(mk func(tr int) Engine[int]) map[string]float64 {
+		sigs := RunTrials(trials, 0, func(tr int) string {
+			e := mk(tr)
+			e.RunTime(T)
+			return signature(e)
+		})
+		freq := make(map[string]float64)
+		for _, s := range sigs {
+			freq[s] += 1.0 / trials
+		}
+		return freq
+	}
+	seq := run(func(tr int) Engine[int] {
+		return New(n, initial, amRule, WithSeed(uint64(tr)*2+1))
+	})
+	bat := run(func(tr int) Engine[int] {
+		return NewBatch(n, initial, amRule, WithSeed(uint64(tr)*2+2))
+	})
+	step := run(func(tr int) Engine[int] {
+		b := NewBatch(n, initial, amRule, WithSeed(uint64(tr)*2+3))
+		return stepOnly[int]{b}
+	})
+	compare := func(name string, a, b map[string]float64) {
+		seen := map[string]bool{}
+		for k := range a {
+			seen[k] = true
+		}
+		for k := range b {
+			seen[k] = true
+		}
+		for k := range seen {
+			d := math.Abs(a[k] - b[k])
+			// ~5 standard errors for a Bernoulli frequency at this trial count.
+			tol := 5*math.Sqrt(math.Max(a[k], b[k])/trials) + 1e-3
+			if d > tol {
+				t.Errorf("%s: signature %q: %.4f vs %.4f (tol %.4f)", name, k, a[k], b[k], tol)
+			}
+		}
+	}
+	compare("seq vs batch", seq, bat)
+	compare("seq vs multiset-step", seq, step)
+}
+
+// stepOnly forces the single-interaction multiset path of a BatchSim.
+type stepOnly[S comparable] struct{ *BatchSim[S] }
+
+func (s stepOnly[S]) Run(k int64) {
+	for ; k > 0; k-- {
+		s.BatchSim.Step()
+	}
+}
+func (s stepOnly[S]) RunTime(t float64) {
+	s.Run(int64(t * float64(s.N())))
+}
+
+// TestBatchCachePolicy: transitions that consume randomness must never be
+// served from the deterministic-transition cache; deterministic ones must.
+func TestBatchCachePolicy(t *testing.T) {
+	rnd := NewBatch(3000, func(i int, _ *rand.Rand) int { return i % 3 }, coinRule, WithSeed(4))
+	rnd.RunTime(10)
+	if hits := rnd.Stats().CacheHits; hits != 0 {
+		t.Errorf("randomized rule served %d cached transitions", hits)
+	}
+	det := NewBatch(3000, func(i int, _ *rand.Rand) int { return i % 3 }, amRule, WithSeed(4))
+	det.RunTime(10)
+	st := det.Stats()
+	if st.CacheHits == 0 {
+		t.Error("deterministic rule never hit the cache")
+	}
+	if st.CacheHits < st.RuleCalls {
+		t.Errorf("expected cache hits (%d) to dominate rule calls (%d)", st.CacheHits, st.RuleCalls)
+	}
+}
+
+// TestBatchDistinctStates: on a protocol that can only shuffle its initial
+// values (max-epidemic), both engines must report exactly the initial
+// distinct-state count.
+func TestBatchDistinctStates(t *testing.T) {
+	const k = 37
+	initial := func(i int, _ *rand.Rand) int { return i % k }
+	b := NewBatch(2000, initial, maxRule, WithSeed(6))
+	b.RunTime(30)
+	if got := b.DistinctStates(); got != k {
+		t.Errorf("batch DistinctStates = %d, want %d", got, k)
+	}
+	s := New(2000, initial, maxRule, WithSeed(6), WithStateTracking())
+	s.RunTime(30)
+	if got := s.DistinctStates(); got != k {
+		t.Errorf("sequential DistinctStates = %d, want %d", got, k)
+	}
+}
+
+// TestRunUntilBoundaryParity: both engines share RunUntil's check-boundary
+// semantics — the predicate is evaluated at the same parallel-time
+// checkpoints and the reported detection time is the same boundary.
+func TestRunUntilBoundaryParity(t *testing.T) {
+	const n = 1000
+	mk := map[string]Engine[int]{
+		"seq":   New(n, func(int, *rand.Rand) int { return 0 }, amRule, WithSeed(1)),
+		"batch": NewBatch(n, func(int, *rand.Rand) int { return 0 }, amRule, WithSeed(1)),
+	}
+	for name, e := range mk {
+		var checks []float64
+		pred := func(e Engine[int]) bool {
+			checks = append(checks, e.Time())
+			return e.Time() >= 3.5
+		}
+		ok, at := e.RunUntil(pred, 1.0, 100)
+		if !ok {
+			t.Fatalf("%s: predicate never held", name)
+		}
+		want := []float64{0, 1, 2, 3, 4}
+		if !reflect.DeepEqual(checks, want) {
+			t.Errorf("%s: predicate evaluated at %v, want %v", name, checks, want)
+		}
+		if at != 4 {
+			t.Errorf("%s: detection time %v, want 4", name, at)
+		}
+	}
+}
+
+// TestBatchRejectsInteractionCounts pins the documented panic.
+func TestBatchRejectsInteractionCounts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBatch with WithInteractionCounts did not panic")
+		}
+	}()
+	NewBatch(10, func(int, *rand.Rand) int { return 0 }, amRule, WithInteractionCounts())
+}
+
+// TestBatchCompaction: an exactcount-style protocol that cycles through
+// many short-lived states must keep its interning tables near the live
+// count via compaction, and stay correct while doing so.
+func TestBatchCompaction(t *testing.T) {
+	b := NewBatch(4000, func(i int, _ *rand.Rand) int { return i % 2 },
+		func(a, c int, _ *rand.Rand) (int, int) {
+			// The receiver walks a long cycle: states keep dying behind
+			// the walk front, so the interning tables fill with dead ids.
+			return (a + 2) % 100000, c
+		}, WithSeed(8))
+	b.RunTime(1000)
+	if st := b.Stats(); st.Compactions <= 1 { // construction itself compacts once
+		t.Error("no compactions despite state churn")
+	}
+	if got := countsSum[int](b); got != 4000 {
+		t.Errorf("conservation after compactions: %d agents, want 4000", got)
+	}
+	if b.DistinctStates() < 1000 {
+		t.Errorf("DistinctStates = %d, expected a long state cycle", b.DistinctStates())
+	}
+}

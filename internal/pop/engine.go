@@ -1,0 +1,176 @@
+package pop
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Engine is the interface shared by the simulation backends. Two
+// implementations exist:
+//
+//   - [Sim], the sequential reference engine: an explicit agent array,
+//     one uniformly random ordered pair per Step. O(1) work per
+//     interaction, but every interaction touches two random positions of
+//     an n-sized array, so large populations are memory-bound.
+//
+//   - [BatchSim], the batched multiset engine: the configuration is kept
+//     as state counts and interactions are simulated in collision-free
+//     batches of ~√n at a time (Berenbrink et al., "Simulating Population
+//     Protocols in Sub-Constant Time per Interaction", arXiv:2005.03584).
+//     Its cost per interaction depends on the number of currently-live
+//     distinct states rather than on n, which is exactly the regime of
+//     this paper's O(log⁴ n) state bound.
+//
+// Both engines simulate the same process — the uniformly random pairwise
+// scheduler of Section 2 — and the configuration trajectory of BatchSim is
+// distributed identically to Sim's (it is not an approximation; see the
+// package comment of batch.go). They do not produce bit-identical runs for
+// a given seed, because they consume the random stream differently; the
+// cross-backend equivalence tests compare them statistically.
+//
+// Predicates passed to RunUntil, and the per-state predicates given to
+// Count/All/Any, must depend only on the multiset of states (not on agent
+// identities), which is what the anonymous population model guarantees
+// anyway.
+type Engine[S comparable] interface {
+	// N returns the population size.
+	N() int
+	// Interactions returns the number of interactions executed so far.
+	Interactions() int64
+	// Time returns the parallel time elapsed: interactions / n.
+	Time() float64
+	// Step executes one interaction.
+	Step()
+	// Run executes k interactions.
+	Run(k int64)
+	// RunTime executes t units of parallel time (t·n interactions).
+	RunTime(t float64)
+	// RunUntil repeatedly executes checkEvery units of parallel time and
+	// then evaluates pred, stopping as soon as pred holds or maxTime units
+	// of parallel time have elapsed since the call began.
+	RunUntil(pred func(Engine[S]) bool, checkEvery, maxTime float64) (ok bool, at float64)
+	// Counts returns the configuration vector: the multiset of states
+	// present, as a map from state to count.
+	Counts() map[S]int
+	// Count returns the number of agents satisfying pred.
+	Count(pred func(S) bool) int
+	// All reports whether every agent satisfies pred. pred is evaluated
+	// sequentially (at most once per distinct state on the batched
+	// engine) with early exit, so stateful closures — e.g. capturing the
+	// first state seen to check population-wide agreement — are valid on
+	// every backend and cost no allocation.
+	All(pred func(S) bool) bool
+	// Any reports whether at least one agent satisfies pred.
+	Any(pred func(S) bool) bool
+	// DistinctStates returns the number of distinct states observed since
+	// the initial configuration (the paper's space measure). The
+	// sequential engine requires WithStateTracking and returns 0
+	// otherwise; the batched engine tracks states as a side effect of its
+	// representation and always reports them.
+	DistinctStates() int
+}
+
+var (
+	_ Engine[int] = (*Sim[int])(nil)
+	_ Engine[int] = (*BatchSim[int])(nil)
+)
+
+// Backend selects a simulation engine implementation.
+type Backend int
+
+const (
+	// Auto picks Batched for large populations and Sequential otherwise
+	// (or whenever a requested feature, such as per-agent interaction
+	// counts, needs the agent array).
+	Auto Backend = iota
+	// Sequential is the agent-array reference engine (Sim).
+	Sequential
+	// Batched is the multiset engine (BatchSim).
+	Batched
+)
+
+// autoBatchMinN is the population size above which Auto prefers the
+// batched engine; below it, batches are too short to amortize their
+// per-batch setup and the agent array is already cache-resident.
+const autoBatchMinN = 4096
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case Sequential:
+		return "seq"
+	case Batched:
+		return "batch"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses a -backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto", "":
+		return Auto, nil
+	case "seq", "sequential":
+		return Sequential, nil
+	case "batch", "batched":
+		return Batched, nil
+	default:
+		return Auto, fmt.Errorf("pop: unknown backend %q (want auto, seq or batch)", s)
+	}
+}
+
+// NewEngine constructs a simulation engine for a population of n agents
+// whose i'th agent starts in initial(i, rng), using the backend selected
+// by WithBackend (default Auto). Both backends consume the seed
+// identically during initialization, so they start from the same initial
+// configuration.
+func NewEngine[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rule[S], opts ...Option) Engine[S] {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch o.backend {
+	case Sequential:
+		return New(n, initial, rule, opts...)
+	case Batched:
+		return NewBatch(n, initial, rule, opts...)
+	default:
+		if n >= autoBatchMinN && !o.trackInteractions {
+			return NewBatch(n, initial, rule, opts...)
+		}
+		return New(n, initial, rule, opts...)
+	}
+}
+
+// NewEngineFromConfig is NewEngine for an explicit initial configuration
+// (copied), mirroring NewFromConfig.
+func NewEngineFromConfig[S comparable](agents []S, rule Rule[S], opts ...Option) Engine[S] {
+	cp := make([]S, len(agents))
+	copy(cp, agents)
+	return NewEngine(len(cp), func(i int, _ *rand.Rand) S { return cp[i] }, rule, opts...)
+}
+
+// runUntil is the single RunUntil implementation shared by both engines,
+// so that the check-boundary semantics (predicate evaluated only at
+// checkEvery multiples, maxTime measured from the call) are identical by
+// construction.
+func runUntil[S comparable](e Engine[S], pred func(Engine[S]) bool, checkEvery, maxTime float64) (ok bool, at float64) {
+	if checkEvery <= 0 {
+		panic("pop: RunUntil requires checkEvery > 0")
+	}
+	start := e.Time()
+	if pred(e) {
+		return true, start
+	}
+	for e.Time()-start < maxTime {
+		e.RunTime(checkEvery)
+		if pred(e) {
+			return true, e.Time()
+		}
+	}
+	return false, e.Time()
+}

@@ -1,0 +1,170 @@
+// Cross-backend statistical equivalence suite: the batched multiset
+// engine must be distributionally indistinguishable from the sequential
+// reference engine on the repository's protocols. Backends consume
+// randomness differently, so trajectories cannot be compared run-by-run;
+// instead each protocol/size runs many seeded trials per backend and the
+// suite compares the resulting metric distributions with a Welch-style
+// tolerance (5 standard errors plus a small absolute slack — loose enough
+// for fixed seeds to pass deterministically, tight enough to catch any
+// systematic bias in the batching machinery).
+package pop_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/epidemic"
+	"github.com/popsim/popsize/internal/exactcount"
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/stats"
+)
+
+// meansAgree applies the Welch-style check to two samples.
+func meansAgree(t *testing.T, what string, a, b []float64, absSlack float64) {
+	t.Helper()
+	sa, sb := stats.Summarize(a), stats.Summarize(b)
+	se := math.Sqrt(sa.Std*sa.Std/float64(sa.N) + sb.Std*sb.Std/float64(sb.N))
+	tol := 5*se + absSlack
+	if d := math.Abs(sa.Mean - sb.Mean); d > tol {
+		t.Errorf("%s: backend means differ: seq %.4f vs batch %.4f (|Δ|=%.4f > tol %.4f)",
+			what, sa.Mean, sb.Mean, d, tol)
+	}
+}
+
+// equivConfig is a reduced-constant preset for the equivalence suite: the
+// protocol's shape at a fraction of FastConfig's simulation cost.
+func equivConfig() core.Config {
+	return core.Config{ClockFactor: 8, EpochFactor: 1, GeomBonus: 2}
+}
+
+// TestEquivalenceCoreProtocol: the headline Log-Size-Estimation protocol.
+// Convergence time and estimate distributions must agree across backends
+// at every size, and every batch-backend trial must conserve agents and
+// meet the error bound.
+func TestEquivalenceCoreProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence suite is not short")
+	}
+	p := core.MustNew(equivConfig())
+	const trials = 12
+	for _, n := range []int{300, 1000, 2000} {
+		run := func(backend pop.Backend, seedOff uint64) (times, ests []float64) {
+			times = make([]float64, trials)
+			ests = make([]float64, trials)
+			pop.RunTrials(trials, 0, func(tr int) struct{} {
+				r := p.Run(n, core.RunOptions{
+					Seed:    seedOff + uint64(tr)*7717,
+					Backend: backend,
+				})
+				if !r.Converged {
+					t.Errorf("n=%d backend=%v trial %d did not converge", n, backend, tr)
+				}
+				if r.MaxErr > 8 {
+					t.Errorf("n=%d backend=%v trial %d: error %.2f implausibly large", n, backend, tr, r.MaxErr)
+				}
+				times[tr] = r.Time
+				ests[tr] = r.Estimate
+				return struct{}{}
+			})
+			return times, ests
+		}
+		seqT, seqE := run(pop.Sequential, 1)
+		batT, batE := run(pop.Batched, 2)
+		logN := math.Log2(float64(n))
+		meansAgree(t, "core convergence time", seqT, batT, 0.05*stats.Summarize(seqT).Mean)
+		meansAgree(t, "core estimate", seqE, batE, 0.5)
+		for _, es := range [][]float64{seqE, batE} {
+			m := stats.Summarize(es).Mean
+			if math.Abs(m-logN) > 6 {
+				t.Errorf("n=%d: mean estimate %.2f far from log2 n = %.2f", n, m, logN)
+			}
+		}
+	}
+}
+
+// TestEquivalenceEpidemic: one-way epidemic completion times (the
+// max-propagation primitive under every stage of the main protocol).
+func TestEquivalenceEpidemic(t *testing.T) {
+	const trials = 24
+	for _, n := range []int{500, 2000, 8000} {
+		run := func(backend pop.Backend, seedOff uint64) []float64 {
+			return pop.RunTrials(trials, 0, func(tr int) float64 {
+				s := epidemic.NewEngine(n, 1, pop.WithSeed(seedOff+uint64(tr)*271),
+					pop.WithBackend(backend))
+				at, ok := epidemic.CompletionTime(s, 1e5)
+				if !ok {
+					t.Errorf("n=%d backend=%v trial %d: epidemic timed out", n, backend, tr)
+				}
+				return at
+			})
+		}
+		seq := run(pop.Sequential, 11)
+		bat := run(pop.Batched, 12)
+		meansAgree(t, "epidemic completion time", seq, bat, 0.5)
+	}
+}
+
+// TestEquivalenceExactCount: the leader-driven exact counting baseline —
+// a protocol whose leader walks through Θ(n log n) short-lived states,
+// exercising interning-table compaction. The count must be exact on both
+// backends and termination-time distributions must agree.
+func TestEquivalenceExactCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence suite is not short")
+	}
+	p := exactcount.New(3)
+	const trials = 12
+	for _, n := range []int{100, 250, 500} {
+		run := func(backend pop.Backend, seedOff uint64) []float64 {
+			return pop.RunTrials(trials, 0, func(tr int) float64 {
+				s := p.NewEngine(n, pop.WithSeed(seedOff+uint64(tr)*911),
+					pop.WithBackend(backend))
+				ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
+				if !ok {
+					t.Errorf("n=%d backend=%v trial %d: never terminated", n, backend, tr)
+				}
+				if got := exactcount.LeaderCount(s); got != n {
+					t.Errorf("n=%d backend=%v trial %d: counted %d agents", n, backend, tr, got)
+				}
+				return at
+			})
+		}
+		seq := run(pop.Sequential, 21)
+		bat := run(pop.Batched, 22)
+		meansAgree(t, "exact-count termination time", seq, bat, 0.1*stats.Summarize(seq).Mean)
+	}
+}
+
+// TestBatchConservationThroughCoreRun asserts exact agent-count
+// conservation at every checkpoint of a batched core-protocol run (the
+// engine additionally self-checks after every batch and panics on
+// violation).
+func TestBatchConservationThroughCoreRun(t *testing.T) {
+	p := core.MustNew(equivConfig())
+	const n = 5000
+	e := p.NewEngine(n, pop.WithSeed(33), pop.WithBackend(pop.Batched))
+	for i := 0; i < 20; i++ {
+		e.RunTime(5)
+		total := 0
+		for _, c := range e.Counts() {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("checkpoint %d: %d agents, want %d", i, total, n)
+		}
+	}
+}
+
+// TestBatchSelfDeterminismCoreProtocol: the batched engine is
+// deterministic for a fixed seed on the real protocol, including its
+// Result-level outputs.
+func TestBatchSelfDeterminismCoreProtocol(t *testing.T) {
+	p := core.MustNew(equivConfig())
+	r1 := p.Run(1500, core.RunOptions{Seed: 77, Backend: pop.Batched})
+	r2 := p.Run(1500, core.RunOptions{Seed: 77, Backend: pop.Batched})
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("batched runs with the same seed differ:\n%+v\n%+v", r1, r2)
+	}
+}

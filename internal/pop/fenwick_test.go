@@ -1,0 +1,72 @@
+package pop
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestFenwickDrainsExactly draws every unit of weight without replacement
+// and verifies each index is returned exactly as often as its weight.
+func TestFenwickDrainsExactly(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	weights := []int64{3, 0, 7, 1, 0, 12, 5}
+	var f fenwick
+	f.reset(weights)
+	total := int64(0)
+	for _, w := range weights {
+		total += w
+	}
+	got := make([]int64, len(weights))
+	for rem := total; rem > 0; rem-- {
+		got[f.findAndDec(r.Int64N(rem))]++
+	}
+	for i, w := range weights {
+		if got[i] != w {
+			t.Errorf("index %d drawn %d times, weight %d", i, got[i], w)
+		}
+	}
+}
+
+// TestFenwickMatchesWeights is the weighted-sampler frequency check: with
+// replacement restored between draws, empirical frequencies must match the
+// weight distribution.
+func TestFenwickMatchesWeights(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 3))
+	weights := []int64{10, 90, 0, 400, 500}
+	var f fenwick
+	total := int64(1000)
+	const draws = 500000
+	counts := make([]int64, len(weights))
+	f.reset(weights)
+	for i := 0; i < draws; i++ {
+		idx := f.findAndDec(r.Int64N(total))
+		counts[idx]++
+		f.add(idx, 1) // restore: sample with replacement
+	}
+	for i, w := range weights {
+		p := float64(w) / float64(total)
+		got := float64(counts[i]) / draws
+		se := 5 * math.Sqrt(p*(1-p)/draws)
+		if math.Abs(got-p) > se+1e-9 {
+			t.Errorf("index %d: frequency %.5f, want %.5f ± %.5f", i, got, p, se)
+		}
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[2])
+	}
+}
+
+// TestFenwickFindBoundaries pins the find contract: u just below a
+// cumulative boundary selects the earlier index, u at the boundary the
+// next.
+func TestFenwickFindBoundaries(t *testing.T) {
+	weights := []int64{2, 3, 5}
+	var f fenwick
+	for u, want := range map[int64]int{0: 0, 1: 0, 2: 1, 4: 1, 5: 2, 9: 2} {
+		f.reset(weights)
+		if got := f.findAndDec(u); got != want {
+			t.Errorf("find(%d) = %d, want %d", u, got, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package pop
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// hypergeometric samples from the hypergeometric distribution: the number
+// of "successes" among m draws without replacement from a population of N
+// items of which K are successes. It is exact up to float64 rounding (the
+// same caveat as any floating-point sampler).
+//
+// BatchSim calls it once per live state per batch to sample the
+// multivariate hypergeometric allocation of batch slots to states, so the
+// constant factor matters: light states (small expected draw) use an
+// inverse-transform walk from zero whose only transcendental work is one
+// log1p/exp pair, and heavy states use an inverse-transform walk from the
+// mode (O(std dev) expected steps).
+func hypergeometric(r *rand.Rand, N, K, m int64) int64 {
+	switch {
+	case N < 0 || K < 0 || m < 0 || K > N || m > N:
+		panic("pop: invalid hypergeometric parameters")
+	case m == 0 || K == 0:
+		return 0
+	case m == N:
+		return K
+	case K == N:
+		return m
+	}
+	// Symmetries: successes among the m drawn = K − successes among the
+	// N−m undrawn; and the roles of K and m are exchangeable. Use them to
+	// shrink the work.
+	if m > N/2 {
+		return K - hypergeometric(r, N, K, N-m)
+	}
+	if K > N/2 {
+		return m - hypergeometric(r, N, N-K, m)
+	}
+	if K > m {
+		K, m = m, K // Hyp(N, K, m) == Hyp(N, m, K)
+	}
+	// After the reductions K <= m <= N/2, so the support starts at 0 and
+	// p(0) = C(N−K, m)/C(N, m) = Π (N−m−i)/(N−i) over i < K is positive.
+	if mean := float64(K) * float64(m) / float64(N); mean <= 16 {
+		// Light state: walk up from zero. p(0) via exp/log1p; then the
+		// ratio recurrence. Expected steps ≈ mean.
+		var p float64
+		if K <= 24 {
+			p = 1
+			for i := int64(0); i < K; i++ {
+				p *= float64(N-m-i) / float64(N-i)
+			}
+		} else {
+			p = math.Exp(lnChoose(N-K, m) - lnChoose(N, m))
+		}
+		u := r.Float64()
+		acc := p
+		x := int64(0)
+		// After the reductions the support is [0, K]; stopping at K also
+		// covers the float64-rounding sliver where acc never reaches u.
+		for acc <= u && x < K {
+			// p(x+1)/p(x) = (K−x)(m−x) / ((x+1)(N−K−m+x+1))
+			p *= float64(K-x) * float64(m-x) / (float64(x+1) * float64(N-K-m+x+1))
+			x++
+			acc += p
+			if p == 0 {
+				break
+			}
+		}
+		return x
+	}
+	return hypergeometricModeWalk(r, N, K, m)
+}
+
+// hypergeometricModeWalk is inverse-transform sampling anchored at the
+// distribution's mode, accumulating probability outward with the pmf ratio
+// recurrences; expected number of steps is O(std dev).
+func hypergeometricModeWalk(r *rand.Rand, N, K, m int64) int64 {
+	lo := max(int64(0), m-(N-K))
+	hi := min(m, K)
+	mode := (m + 1) * (K + 1) / (N + 2)
+	mode = min(max(mode, lo), hi)
+	pMode := math.Exp(lnChoose(K, mode) + lnChoose(N-K, m-mode) - lnChoose(N, m))
+
+	u := r.Float64()
+	acc := pMode
+	if u < acc {
+		return mode
+	}
+	up, down := mode, mode
+	pUp, pDown := pMode, pMode
+	for {
+		advanced := false
+		if up < hi {
+			// p(x+1)/p(x) = (K−x)(m−x) / ((x+1)(N−K−m+x+1))
+			pUp *= float64(K-up) * float64(m-up) / (float64(up+1) * float64(N-K-m+up+1))
+			up++
+			acc += pUp
+			if u < acc {
+				return up
+			}
+			advanced = true
+		}
+		if down > lo {
+			// p(x−1)/p(x) = x(N−K−m+x) / ((K−x+1)(m−x+1))
+			pDown *= float64(down) * float64(N-K-m+down) / (float64(K-down+1) * float64(m-down+1))
+			down--
+			acc += pDown
+			if u < acc {
+				return down
+			}
+			advanced = true
+		}
+		if !advanced {
+			// The whole support is exhausted; u landed in the sliver of
+			// float64 rounding error. Return the mode (relative error
+			// ~1e-14 on the distribution).
+			return mode
+		}
+	}
+}
+
+// lnChoose returns ln C(n, k) via log-gamma.
+func lnChoose(n, k int64) float64 {
+	return lnGamma(float64(n+1)) - lnGamma(float64(k+1)) - lnGamma(float64(n-k+1))
+}
+
+const halfLn2Pi = 0.91893853320467274178032973640562
+
+// lnGamma is a fast ln Γ(x) for the sampler's hot path: a two-term
+// Stirling series for large arguments (absolute error < 1e-11 for
+// x >= 64, far below the sampler's float64 noise floor), deferring to
+// math.Lgamma below that.
+func lnGamma(x float64) float64 {
+	if x < 64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return (x-0.5)*math.Log(x) - x + halfLn2Pi + 1/(12*x) - 1/(360*x*x*x)
+}

@@ -1,0 +1,123 @@
+package pop
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestHypergeometricEdges pins the degenerate parameter combinations.
+func TestHypergeometricEdges(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	cases := []struct {
+		n, k, m, want int64
+	}{
+		{10, 0, 5, 0},
+		{10, 5, 0, 0},
+		{10, 10, 7, 7},
+		{10, 4, 10, 4},
+	}
+	for _, c := range cases {
+		if got := hypergeometric(r, c.n, c.k, c.m); got != c.want {
+			t.Errorf("hypergeometric(%d,%d,%d) = %d, want %d", c.n, c.k, c.m, got, c.want)
+		}
+	}
+}
+
+// TestHypergeometricSupport verifies samples never leave the support, for
+// parameters that exercise the small-K, from-zero and mode-walk paths and
+// both symmetry reductions.
+func TestHypergeometricSupport(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	cases := []struct{ n, k, m int64 }{
+		{50, 3, 20},      // small-K loop
+		{1000, 40, 100},  // from-zero walk
+		{1000, 400, 500}, // mode walk
+		{100, 90, 95},    // forced support lower bound > 0
+		{100, 60, 70},    // both symmetry reductions
+	}
+	for _, c := range cases {
+		lo := max(int64(0), c.m-(c.n-c.k))
+		hi := min(c.m, c.k)
+		for i := 0; i < 2000; i++ {
+			x := hypergeometric(r, c.n, c.k, c.m)
+			if x < lo || x > hi {
+				t.Fatalf("hypergeometric(%d,%d,%d) = %d outside [%d,%d]",
+					c.n, c.k, c.m, x, lo, hi)
+			}
+		}
+	}
+}
+
+// TestHypergeometricMoments compares empirical mean and variance against
+// the exact values E = mK/N and Var = mK/N·(1−K/N)·(N−m)/(N−1), across
+// all sampler paths. With 200k samples the empirical mean is within
+// ~4·σ/√k of exact unless the sampler is broken.
+func TestHypergeometricMoments(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	cases := []struct{ n, k, m int64 }{
+		{100, 10, 30},        // small-K
+		{10000, 300, 400},    // from-zero walk (mean 12)
+		{10000, 5000, 400},   // mode walk (mean 200)
+		{100000, 60000, 800}, // symmetry + mode walk
+		{64, 20, 32},         // tiny population
+	}
+	const samples = 200000
+	for _, c := range cases {
+		p := float64(c.k) / float64(c.n)
+		mean := float64(c.m) * p
+		variance := mean * (1 - p) * float64(c.n-c.m) / float64(c.n-1)
+		var sum, sq float64
+		for i := 0; i < samples; i++ {
+			x := float64(hypergeometric(r, c.n, c.k, c.m))
+			sum += x
+			sq += x * x
+		}
+		gotMean := sum / samples
+		gotVar := sq/samples - gotMean*gotMean
+		seMean := 4 * math.Sqrt(variance/samples)
+		if math.Abs(gotMean-mean) > seMean+1e-9 {
+			t.Errorf("hypergeometric(%d,%d,%d): mean %.4f, want %.4f ± %.4f",
+				c.n, c.k, c.m, gotMean, mean, seMean)
+		}
+		if math.Abs(gotVar-variance) > 0.1*variance+1e-9 {
+			t.Errorf("hypergeometric(%d,%d,%d): var %.4f, want %.4f ± 10%%",
+				c.n, c.k, c.m, gotVar, variance)
+		}
+	}
+}
+
+// TestHypergeometricExactPMF checks the sampled distribution cell by cell
+// against the exact pmf on a small case where every path (from-zero and
+// mode-walk, by forcing via parameters) can be cross-validated.
+func TestHypergeometricExactPMF(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	const N, K, m = 40, 12, 15
+	const samples = 400000
+	counts := make([]int, m+1)
+	for i := 0; i < samples; i++ {
+		counts[hypergeometric(r, N, K, m)]++
+	}
+	choose := func(n, k int64) float64 {
+		return math.Exp(lnChoose(n, k))
+	}
+	for x := int64(0); x <= 12; x++ {
+		p := choose(K, x) * choose(N-K, m-x) / choose(N, m)
+		got := float64(counts[x]) / samples
+		se := 5 * math.Sqrt(p*(1-p)/samples)
+		if math.Abs(got-p) > se+1e-6 {
+			t.Errorf("pmf(%d): got %.5f, want %.5f ± %.5f", x, got, p, se)
+		}
+	}
+}
+
+// TestLnGammaStirling checks the fast Stirling branch against math.Lgamma.
+func TestLnGammaStirling(t *testing.T) {
+	for _, x := range []float64{64, 100, 1234.5, 1e6, 1e9} {
+		want, _ := math.Lgamma(x)
+		got := lnGamma(x)
+		if math.Abs(got-want) > 1e-9*math.Abs(want)+1e-9 {
+			t.Errorf("lnGamma(%g) = %.12g, want %.12g", x, got, want)
+		}
+	}
+}

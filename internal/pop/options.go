@@ -4,28 +4,53 @@ type options struct {
 	seed              uint64
 	trackStates       bool
 	trackInteractions bool
+	backend           Backend
+	batchThreshold    int
 }
 
-// Option configures a Sim at construction time.
+// Option configures a simulation engine at construction time.
 type Option func(*options)
 
 // WithSeed makes the simulation deterministic: the same seed, population
-// size, initializer and rule produce the identical execution.
+// size, initializer, rule and backend produce the identical execution.
+// (Different backends consume the random stream differently and therefore
+// produce different — identically distributed — executions.)
 func WithSeed(seed uint64) Option {
 	return func(o *options) { o.seed = seed }
 }
 
 // WithStateTracking records every distinct state that appears during the
 // execution, enabling DistinctStates — the paper's state-complexity measure
-// (Lemma 3.9: O(log⁴ n) states w.h.p.). Tracking costs two map insertions
-// per interaction; leave it off for timing experiments.
+// (Lemma 3.9: O(log⁴ n) states w.h.p.). For the sequential engine tracking
+// costs two map insertions per interaction; leave it off for timing
+// experiments. The batched engine tracks states intrinsically and ignores
+// this option.
 func WithStateTracking() Option {
 	return func(o *options) { o.trackStates = true }
 }
 
 // WithInteractionCounts records how many interactions each agent has
 // participated in, enabling InteractionCount and MaxInteractionCount
-// (Lemma 3.6 / Corollary 3.7 experiments).
+// (Lemma 3.6 / Corollary 3.7 experiments). Only the sequential engine has
+// agent identities: NewBatch panics if this is set, and NewEngine with
+// Auto selects the sequential backend.
 func WithInteractionCounts() Option {
 	return func(o *options) { o.trackInteractions = true }
+}
+
+// WithBackend selects the simulation engine implementation used by
+// NewEngine / NewEngineFromConfig (default Auto). Constructors of a
+// concrete engine (New, NewBatch) ignore it.
+func WithBackend(b Backend) Option {
+	return func(o *options) { o.backend = b }
+}
+
+// WithBatchThreshold overrides the batched engine's live-state fallback
+// threshold: when the number of distinct states simultaneously present
+// exceeds q, BatchSim materializes an agent array and steps sequentially
+// until the configuration re-concentrates. The default (8192) suits
+// protocols with polylog(n) live states; tests use small values to
+// exercise the fallback path.
+func WithBatchThreshold(q int) Option {
+	return func(o *options) { o.batchThreshold = q }
 }

@@ -4,10 +4,34 @@
 // pair of distinct agents (receiver, sender), and parallel time measured as
 // interactions divided by n.
 //
-// The engine is generic over the agent state type S, which must be
+// Engines are generic over the agent state type S, which must be
 // comparable so that configurations (multisets of states) and the number of
 // distinct states used by an execution — the paper's space measure — can be
 // tracked with maps.
+//
+// Two interchangeable backends implement the [Engine] interface:
+//
+//   - [Sim] (backend [Sequential]) — the reference engine: an explicit
+//     agent array stepped one interaction at a time. Use it when per-agent
+//     instrumentation is needed (WithInteractionCounts), for debugging,
+//     and as the ground truth the batched engine is validated against.
+//
+//   - [BatchSim] (backend [Batched]) — the multiset engine: state counts
+//     plus collision-free batches of ~√n interactions, per-batch
+//     hypergeometric sampling, and a deterministic-transition cache (see
+//     batch.go for the algorithm and its exactness argument). Its cost
+//     per interaction scales with the number of live states rather than
+//     with n, which for this paper's O(log⁴ n)-state protocols makes it
+//     several times faster than Sim at n >= 10⁶. It falls back to exact
+//     sequential stepping while the live state count exceeds
+//     WithBatchThreshold.
+//
+// [NewEngine] selects a backend via WithBackend; the default [Auto]
+// chooses Batched for populations of at least 4096 agents. Both backends
+// simulate the identical stochastic process — the cross-backend
+// equivalence suite in equiv_test.go validates this — but consume the
+// random stream differently, so a seed reproduces a run only within one
+// backend. [RunTrials] fans independent trials across goroutines.
 package pop
 
 import (
@@ -216,19 +240,7 @@ func (s *Sim[S]) RunTime(t float64) {
 // evaluates pred, stopping as soon as pred holds or maxTime units of
 // parallel time have elapsed since the call began. It returns true if pred
 // held, along with the parallel time at which the final check succeeded.
-func (s *Sim[S]) RunUntil(pred func(*Sim[S]) bool, checkEvery, maxTime float64) (ok bool, at float64) {
-	if checkEvery <= 0 {
-		panic("pop: RunUntil requires checkEvery > 0")
-	}
-	start := s.Time()
-	if pred(s) {
-		return true, start
-	}
-	for s.Time()-start < maxTime {
-		s.RunTime(checkEvery)
-		if pred(s) {
-			return true, s.Time()
-		}
-	}
-	return false, s.Time()
+// The check-boundary semantics are shared with the batched engine.
+func (s *Sim[S]) RunUntil(pred func(Engine[S]) bool, checkEvery, maxTime float64) (ok bool, at float64) {
+	return runUntil[S](s, pred, checkEvery, maxTime)
 }

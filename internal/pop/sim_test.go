@@ -161,11 +161,11 @@ func TestCountsAndPredicates(t *testing.T) {
 
 func TestRunUntil(t *testing.T) {
 	s := New(10, func(int, *rand.Rand) pair { return pair{} }, countRule, WithSeed(1))
-	ok, at := s.RunUntil(func(s *Sim[pair]) bool { return s.Time() >= 5 }, 1, 100)
+	ok, at := s.RunUntil(func(s Engine[pair]) bool { return s.Time() >= 5 }, 1, 100)
 	if !ok || at < 5 {
 		t.Errorf("RunUntil = %v, %v; want true at time >= 5", ok, at)
 	}
-	ok, _ = s.RunUntil(func(s *Sim[pair]) bool { return false }, 1, 3)
+	ok, _ = s.RunUntil(func(s Engine[pair]) bool { return false }, 1, 3)
 	if ok {
 		t.Error("RunUntil returned true for an unsatisfiable predicate")
 	}

@@ -1,27 +1,12 @@
 package stats
 
-import (
-	"runtime"
-	"sync"
-)
+import "github.com/popsim/popsize/internal/pop"
 
 // ParallelTrials runs fn(trial) for trial = 0..trials-1 on up to
 // GOMAXPROCS workers and returns the results in trial order. fn must be
 // safe for concurrent use across distinct trial indices (each trial should
-// build its own simulator).
+// build its own simulator). It is a float64-specialized convenience over
+// pop.RunTrials.
 func ParallelTrials(trials int, fn func(trial int) float64) []float64 {
-	out := make([]float64, trials)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < trials; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	return out
+	return pop.RunTrials(trials, 0, fn)
 }

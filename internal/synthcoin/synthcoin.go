@@ -282,14 +282,14 @@ func restart(a State) State {
 // Converged reports that every agent has a role and every A agent is Done
 // with a common logSize2 (the F agents hold no output by design; see
 // Appendix B and DESIGN.md).
-func (p *Protocol) Converged(s *pop.Sim[State]) bool {
+func (p *Protocol) Converged(s pop.Engine[State]) bool {
 	var ls uint8
-	for _, a := range s.Agents() {
+	ok := s.All(func(a State) bool {
 		if a.Role == RoleX {
 			return false
 		}
 		if a.Role != RoleA {
-			continue
+			return true
 		}
 		if !a.Done {
 			return false
@@ -299,8 +299,9 @@ func (p *Protocol) Converged(s *pop.Sim[State]) bool {
 		} else if a.LogSize2 != ls {
 			return false
 		}
-	}
-	return ls != 0
+		return true
+	})
+	return ok && ls != 0
 }
 
 // NewSim constructs a simulator for the protocol.

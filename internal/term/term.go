@@ -60,14 +60,14 @@ func (c CounterTerminator) tick(a CounterState) CounterState {
 }
 
 // Terminated reports whether any agent has terminated.
-func Terminated(s *pop.Sim[CounterState]) bool {
+func Terminated(s pop.Engine[CounterState]) bool {
 	return s.Any(func(a CounterState) bool { return a.Terminated })
 }
 
 // FirstTermination runs sim until pred first holds (checking every
 // checkEvery time units) and returns the detection time; ok is false if the
 // budget maxTime is exhausted first.
-func FirstTermination[S comparable](sim *pop.Sim[S], pred func(*pop.Sim[S]) bool, checkEvery, maxTime float64) (t float64, ok bool) {
+func FirstTermination[S comparable](sim pop.Engine[S], pred func(pop.Engine[S]) bool, checkEvery, maxTime float64) (t float64, ok bool) {
 	done, at := sim.RunUntil(pred, checkEvery, maxTime)
 	return at, done
 }

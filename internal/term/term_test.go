@@ -64,7 +64,7 @@ func TestTerminationSpreads(t *testing.T) {
 	if !ok {
 		t.Fatal("never terminated")
 	}
-	ok, _ = s.RunUntil(func(s *pop.Sim[CounterState]) bool {
+	ok, _ = s.RunUntil(func(s pop.Engine[CounterState]) bool {
 		return s.All(func(a CounterState) bool { return a.Terminated })
 	}, 1, 200)
 	if !ok {

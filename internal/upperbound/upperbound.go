@@ -112,11 +112,11 @@ func Report(s State) (float64, bool) {
 // TournamentDone reports whether no further merge is possible (all live
 // ℓ-levels distinct), at which point kex has its exact final value
 // ⌊log2 n⌋ + 1.
-func TournamentDone(s *pop.Sim[State]) bool {
+func TournamentDone(s pop.Engine[State]) bool {
 	var lvls [256]int
-	for _, a := range s.Agents() {
+	for a, cnt := range s.Counts() {
 		if a.IsL {
-			lvls[a.Lvl]++
+			lvls[a.Lvl] += cnt
 			if lvls[a.Lvl] > 1 {
 				return false
 			}
@@ -127,11 +127,11 @@ func TournamentDone(s *pop.Sim[State]) bool {
 
 // Mass returns the tournament invariant Σ 2^Lvl over live ℓ-agents, which
 // equals n in every reachable configuration.
-func Mass(s *pop.Sim[State]) uint64 {
+func Mass(s pop.Engine[State]) uint64 {
 	var m uint64
-	for _, a := range s.Agents() {
+	for a, cnt := range s.Counts() {
 		if a.IsL {
-			m += 1 << a.Lvl
+			m += uint64(cnt) << a.Lvl
 		}
 	}
 	return m

@@ -3,7 +3,74 @@ package popsize
 import (
 	"math"
 	"testing"
+
+	"github.com/popsim/popsize/internal/pop"
 )
+
+// TestGoldenSequentialRun pins the exact Result of a seeded sequential run
+// — a determinism regression for the reference engine and everything
+// upstream of it (state layout, rule logic, scheduler randomness order).
+// These values were produced by the pre-refactor engine; if this test
+// fails, the sequential engine's randomness stream changed and every
+// seeded experiment in EXPERIMENTS.md is silently invalidated.
+func TestGoldenSequentialRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs are not short")
+	}
+	est, err := New(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		n         int
+		time      float64
+		estimate  float64
+		maxErr    float64
+		countA    int
+		logSize2  int
+		converged bool
+	}{
+		{500, 1344.6, 11.600000000000062, 2.6342157153379127, 247, 8, true},
+		{2000, 3048.409, 12.56666666666659, 1.6008823820045794, 1002, 13, true},
+	}
+	for _, c := range cases {
+		r := est.Run(c.n, RunOptions{Seed: 42, Backend: pop.Sequential})
+		// Time, CountA and LogSize2 are exact functions of the randomness
+		// stream and are pinned bit-for-bit; the two means are pinned to
+		// within float-summation reordering noise.
+		if r.Converged != c.converged || r.Time != c.time ||
+			r.CountA != c.countA || r.LogSize2 != c.logSize2 ||
+			math.Abs(r.Estimate-c.estimate) > 1e-9 || math.Abs(r.MaxErr-c.maxErr) > 1e-9 {
+			t.Errorf("golden run n=%d diverged:\n got %+v\nwant %+v", c.n, r, c)
+		}
+	}
+}
+
+// TestGoldenBatchedRunStable pins the batched engine's own seeded output
+// (self-determinism across releases; the value may legitimately change if
+// the batching algorithm's randomness order changes, in which case update
+// it alongside a fresh cross-backend equivalence run).
+func TestGoldenBatchedRunStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs are not short")
+	}
+	est, err := New(FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := est.Run(1000, RunOptions{Seed: 42, Backend: pop.Batched})
+	r2 := est.Run(1000, RunOptions{Seed: 42, Backend: pop.Batched})
+	if r1 != r2 {
+		t.Errorf("batched runs with identical seeds differ: %+v vs %+v", r1, r2)
+	}
+	if !r1.Converged {
+		t.Error("batched golden run did not converge")
+	}
+	if math.Abs(r1.Estimate-math.Log2(1000)) > ErrorBound+1 {
+		t.Errorf("batched golden run estimate %.2f outside bound around %.2f",
+			r1.Estimate, math.Log2(1000))
+	}
+}
 
 func TestEstimateEndToEnd(t *testing.T) {
 	if testing.Short() {
