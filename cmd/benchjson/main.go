@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// perf-trajectory artifact: one entry per benchmark line, with the
+// backend and population size parsed out of sub-benchmark names of the
+// form Benchmark.../<backend>/n=<n>-<procs>. CI pipes
+// BenchmarkEngineInteractions through it to emit BENCH_engine.json
+// (ns/interaction per backend × n), so successive commits accumulate a
+// machine-readable history of the engines' throughput.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkEngineInteractions -benchtime 200000x . | benchjson -out BENCH_engine.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Benchmark string  `json:"benchmark"`
+	Backend   string  `json:"backend,omitempty"`
+	N         int     `json:"n,omitempty"`
+	Iters     int64   `json:"iters"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkEngineInteractions/seq/n=1000000-8  20000000  118.3 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// subName extracts backend and n from a sub-benchmark path like
+// "BenchmarkEngineInteractions/seq/n=1000000-8".
+var subName = regexp.MustCompile(`^[^/]+/([^/]+)/n=(\d+)(?:-\d+)?$`)
+
+func parse(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	var entries []Entry
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		e := Entry{Benchmark: m[1], Iters: iters, NsPerOp: ns}
+		if sm := subName.FindStringSubmatch(m[1]); sm != nil {
+			e.Backend = sm[1]
+			e.N, _ = strconv.Atoi(sm[2])
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	entries, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+BenchmarkEngineInteractions/seq/n=100000-8      20000000        155.2 ns/op
+BenchmarkEngineInteractions/batch/n=100000-8    20000000        137.0 ns/op
+BenchmarkEngineInteractions/batch/n=1000000-8   20000000        118 ns/op
+BenchmarkFig2Convergence-8   12   90000000 ns/op   1371 paralleltime
+PASS
+`
+	entries, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("parsed %d entries, want 4", len(entries))
+	}
+	e := entries[2]
+	if e.Backend != "batch" || e.N != 1000000 || e.NsPerOp != 118 || e.Iters != 20000000 {
+		t.Errorf("entry = %+v, want batch/n=1000000 118 ns/op", e)
+	}
+	if last := entries[3]; last.Backend != "" || last.N != 0 {
+		t.Errorf("non-grid benchmark should have empty backend/n, got %+v", last)
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	entries, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil || len(entries) != 0 {
+		t.Errorf("parse = %v, %v; want empty, nil", entries, err)
+	}
+}

@@ -1,7 +1,9 @@
 // Command fig2 regenerates the paper's Figure 2: simulated convergence
 // time of the Log-Size-Estimation protocol vs population size, 10 trials
 // per size, rendered as a table, a CSV, and an ASCII scatter plot with a
-// logarithmic x axis (the paper's format).
+// logarithmic x axis (the paper's format). Trials run through the sweep
+// subsystem, so -jsonl records every trial and -resume continues an
+// interrupted run.
 //
 // By default it uses the fast constant preset and n ∈ {100, 1000, 10000};
 // -full adds n = 100000 and -paper switches to the 95/5 constants of
@@ -16,8 +18,8 @@ import (
 
 	"github.com/popsim/popsize/internal/core"
 	"github.com/popsim/popsize/internal/expt"
-	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/stats"
+	"github.com/popsim/popsize/internal/sweep"
 )
 
 func main() {
@@ -31,12 +33,11 @@ func run() error {
 	full := flag.Bool("full", false, "add n = 100000")
 	paper := flag.Bool("paper", false, "use the paper's constants (95/5)")
 	trials := flag.Int("trials", 10, "trials per population size (paper: 10)")
-	seed := flag.Uint64("seed", 1, "base random seed")
-	backendFlag := flag.String("backend", "auto", "simulation backend: auto|seq|batch")
 	outDir := flag.String("out", "results", "directory for fig2.csv (empty = skip)")
+	sf := sweep.Register(flag.CommandLine, "")
 	flag.Parse()
 
-	be, err := pop.ParseBackend(*backendFlag)
+	be, err := sf.ParseBackend()
 	if err != nil {
 		return err
 	}
@@ -51,16 +52,22 @@ func run() error {
 		ns = append(ns, 100000)
 	}
 
-	res := expt.Fig2(cfg, ns, *trials, *seed)
-	fmt.Println(res.Table.Markdown())
-	fmt.Println(stats.ASCIIPlotLogX("Figure 2: convergence time vs population size (log10 x)", res.Points, 64, 18))
+	d := expt.Fig2Def(cfg, ns, *trials)
+	res, err := sf.Execute(d.Points, nil)
+	if err != nil {
+		return err
+	}
+	table := d.Render(res)
+	fmt.Println(table.Markdown())
+	fmt.Println(stats.ASCIIPlotLogX("Figure 2: convergence time vs population size (log10 x)",
+		expt.Fig2Points(res, ns), 64, 18))
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
 		path := filepath.Join(*outDir, "fig2.csv")
-		if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
 			return err
 		}
 		fmt.Println("wrote", path)

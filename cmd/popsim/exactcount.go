@@ -2,19 +2,28 @@ package main
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/popsim/popsize/internal/exactcount"
 	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
 )
 
-func runExactCount(n int, seed uint64, trial int, backend pop.Backend) error {
+func exactCountRunner(n int, backend pop.Backend, box *errBox) protocolRunner {
 	p := exactcount.New(0)
-	s := p.NewEngine(n, pop.WithSeed(seed), pop.WithBackend(backend))
-	ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
-	if !ok {
-		return fmt.Errorf("exact count never terminated on n=%d", n)
+	return protocolRunner{
+		run: func(tr int, seed uint64) sweep.Values {
+			s := p.NewEngine(n, pop.WithSeed(seed), pop.WithBackend(backend))
+			ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
+			if !ok {
+				box.set(fmt.Errorf("trial %d: exact count never terminated on n=%d", tr, n))
+				at = math.NaN()
+			}
+			return sweep.Values{"count": float64(exactcount.LeaderCount(s)), "time": at}
+		},
+		format: func(v sweep.Values) string {
+			return fmt.Sprintf("count=%d exact=%v time=%.0f",
+				int(v["count"]), int(v["count"]) == n, v["time"])
+		},
 	}
-	fmt.Printf("trial %d: count=%d exact=%v time=%.0f\n", trial, exactcount.LeaderCount(s),
-		exactcount.LeaderCount(s) == n, at)
-	return nil
 }

@@ -1,5 +1,9 @@
 // Command popsim runs one of the repository's population protocols on a
-// chosen population size and reports per-trial results.
+// chosen population size and reports per-trial results. Trials execute
+// through the sweep subsystem: they parallelize across -workers, derive
+// per-trial seeds via pop.TrialSeed (so different protocols sharing a base
+// seed never reuse a random stream), and can be recorded to -jsonl and
+// resumed with -resume.
 //
 // Usage:
 //
@@ -15,10 +19,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 
 	"github.com/popsim/popsize"
 	"github.com/popsim/popsize/internal/core"
 	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
 )
 
 func main() {
@@ -28,16 +34,44 @@ func main() {
 	}
 }
 
+// protocolRunner adapts one protocol to a sweep trial function plus a
+// per-trial output line rendered from the recorded values.
+type protocolRunner struct {
+	run    sweep.TrialFunc
+	format func(v sweep.Values) string
+}
+
+// errBox collects the first trial error across worker goroutines, so a
+// failing protocol run still aborts the command with a nonzero exit (the
+// sweep layer itself treats trial values as opaque).
+type errBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *errBox) set(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+func (b *errBox) get() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
 func run() error {
 	protocol := flag.String("protocol", "main", "main|synthcoin|upperbound|leaderterm|weak|exactcount")
 	n := flag.Int("n", 1000, "population size")
 	trials := flag.Int("trials", 3, "number of independent runs")
-	seed := flag.Uint64("seed", 1, "base random seed")
 	paper := flag.Bool("paper", false, "use the paper's constants (95/5) instead of the fast preset")
-	backendFlag := flag.String("backend", "auto", "simulation backend for main/weak/exactcount: auto|seq|batch")
+	sf := sweep.Register(flag.CommandLine, "")
 	flag.Parse()
 
-	backend, err := pop.ParseBackend(*backendFlag)
+	backend, err := sf.ParseBackend()
 	if err != nil {
 		return err
 	}
@@ -50,50 +84,124 @@ func run() error {
 		cfg = popsize.PaperConfig()
 	}
 
+	var box errBox
+	r, err := runner(*protocol, cfg, *n, backend, &box)
+	if err != nil {
+		return err
+	}
+	res, err := sf.Execute([]sweep.Point{{
+		Experiment: *protocol, N: *n, Trials: *trials, Run: r.run,
+	}}, nil)
+	if err != nil {
+		return err
+	}
+	if err := box.get(); err != nil {
+		return err
+	}
 	for t := 0; t < *trials; t++ {
-		s := *seed + uint64(t)*1009
-		switch *protocol {
-		case "main":
-			est, err := popsize.New(cfg)
-			if err != nil {
-				return err
-			}
-			r := est.Run(*n, popsize.RunOptions{Seed: s, Backend: backend})
-			fmt.Printf("trial %d: converged=%v time=%.1f estimate=%.3f err=%.3f states(A)=%d\n",
-				t, r.Converged, r.Time, r.Estimate, math.Abs(r.Estimate-logN), r.CountA)
-		case "synthcoin":
-			est, truth, err := popsize.EstimateDeterministic(*n, s)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("trial %d: estimate=%.3f err=%.3f\n", t, est, math.Abs(est-truth))
-		case "upperbound":
-			bound, truth, err := popsize.EstimateUpperBound(*n, s)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("trial %d: bound=%.3f log2(n)=%.3f holds=%v\n", t, bound, truth, bound >= truth)
-		case "leaderterm":
-			r, err := popsize.EstimateTerminating(*n, s)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("trial %d: terminated_at=%.1f converged_first=%v estimate=%.3f\n",
-				t, r.TerminatedAt, r.ConvergedFirst, r.Estimate)
-		case "weak":
-			k, err := popsize.WeakEstimateBackend(*n, s, backend)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("trial %d: k=%d k/log2(n)=%.3f\n", t, k, float64(k)/logN)
-		case "exactcount":
-			if err := runExactCount(*n, s, t, backend); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown protocol %q", *protocol)
+		rec, ok := res.Get(*protocol, *n, t)
+		if !ok {
+			return fmt.Errorf("trial %d missing from sweep results", t)
 		}
+		// Failed trials are recorded with NaN values; a live failure is
+		// caught by the errBox above, but a NaN replayed from a -resume
+		// checkpoint must not print as garbage and exit 0.
+		for field, v := range rec.Values {
+			if math.IsNaN(v) {
+				return fmt.Errorf("trial %d: recorded %q is NaN — the trial failed when it was checkpointed; rerun it by deleting %s or dropping -resume", t, field, sf.JSONL)
+			}
+		}
+		fmt.Printf("trial %d: %s\n", t, r.format(rec.Values))
 	}
 	_ = core.Initial // documents that popsim sits atop the same core package
 	return nil
+}
+
+func runner(protocol string, cfg popsize.Config, n int, backend pop.Backend, box *errBox) (protocolRunner, error) {
+	logN := math.Log2(float64(n))
+	switch protocol {
+	case "main":
+		est, err := popsize.New(cfg)
+		if err != nil {
+			return protocolRunner{}, err
+		}
+		return protocolRunner{
+			run: func(tr int, seed uint64) sweep.Values {
+				r := est.Run(n, popsize.RunOptions{Seed: seed, Backend: backend})
+				return sweep.Values{
+					"converged": sweep.Bool(r.Converged), "time": r.Time,
+					"estimate": r.Estimate, "countA": float64(r.CountA),
+				}
+			},
+			format: func(v sweep.Values) string {
+				return fmt.Sprintf("converged=%v time=%.1f estimate=%.3f err=%.3f states(A)=%d",
+					v["converged"] == 1, v["time"], v["estimate"],
+					math.Abs(v["estimate"]-logN), int(v["countA"]))
+			},
+		}, nil
+	case "synthcoin":
+		return protocolRunner{
+			run: func(tr int, seed uint64) sweep.Values {
+				est, _, err := popsize.EstimateDeterministic(n, seed)
+				if err != nil {
+					box.set(fmt.Errorf("trial %d: %w", tr, err))
+					est = math.NaN()
+				}
+				return sweep.Values{"estimate": est}
+			},
+			format: func(v sweep.Values) string {
+				return fmt.Sprintf("estimate=%.3f err=%.3f", v["estimate"], math.Abs(v["estimate"]-logN))
+			},
+		}, nil
+	case "upperbound":
+		return protocolRunner{
+			run: func(tr int, seed uint64) sweep.Values {
+				bound, _, err := popsize.EstimateUpperBound(n, seed)
+				if err != nil {
+					box.set(fmt.Errorf("trial %d: %w", tr, err))
+					bound = math.NaN()
+				}
+				return sweep.Values{"bound": bound}
+			},
+			format: func(v sweep.Values) string {
+				return fmt.Sprintf("bound=%.3f log2(n)=%.3f holds=%v", v["bound"], logN, v["bound"] >= logN)
+			},
+		}, nil
+	case "leaderterm":
+		return protocolRunner{
+			run: func(tr int, seed uint64) sweep.Values {
+				r, err := popsize.EstimateTerminating(n, seed)
+				if err != nil {
+					box.set(fmt.Errorf("trial %d: %w", tr, err))
+					return sweep.Values{"terminated_at": math.NaN(), "converged_first": 0, "estimate": math.NaN()}
+				}
+				return sweep.Values{
+					"terminated_at": r.TerminatedAt, "converged_first": sweep.Bool(r.ConvergedFirst),
+					"estimate": r.Estimate,
+				}
+			},
+			format: func(v sweep.Values) string {
+				return fmt.Sprintf("terminated_at=%.1f converged_first=%v estimate=%.3f",
+					v["terminated_at"], v["converged_first"] == 1, v["estimate"])
+			},
+		}, nil
+	case "weak":
+		return protocolRunner{
+			run: func(tr int, seed uint64) sweep.Values {
+				k, err := popsize.WeakEstimateBackend(n, seed, backend)
+				if err != nil {
+					box.set(fmt.Errorf("trial %d: %w", tr, err))
+					return sweep.Values{"k": math.NaN()}
+				}
+				return sweep.Values{"k": float64(k)}
+			},
+			format: func(v sweep.Values) string {
+				return fmt.Sprintf("k=%d k/log2(n)=%.3f", int(v["k"]), v["k"]/logN)
+			},
+		}, nil
+	case "exactcount":
+		return exactCountRunner(n, backend, box), nil
+	default:
+		return protocolRunner{}, fmt.Errorf("unknown protocol %q", protocol)
+	}
 }

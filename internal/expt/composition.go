@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/popsim/popsize/internal/compose"
@@ -8,18 +9,18 @@ import (
 	"github.com/popsim/popsize/internal/majority"
 	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/stats"
+	"github.com/popsim/popsize/internal/sweep"
 )
 
-// Composition is E17: the restart-based composition of Section 1.1 turning
-// the nonuniform majority and leader-election protocols uniform. Majority
-// is swept over margins; leader election reports unique-leader rates.
-func Composition(n int, margins []float64, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title: "E17: uniformized downstream protocols via the §1.1 composition",
-		Note: "Majority margins are fractions of n (0.01 = 51/49 split). " +
-			"Success = every agent outputs the true majority sign.",
-		Columns: []string{"protocol", "n", "margin", "success", "mean time"},
-	}
+// CompositionDef is E17: the restart-based composition of Section 1.1
+// turning the nonuniform majority and leader-election protocols uniform.
+// Majority is swept over margins (one point per margin,
+// "E17/majority/m=<margin>"); leader election reports unique-leader rates
+// ("E17/leader").
+func CompositionDef(n int, margins []float64, trials int) Def {
+	const id = "E17"
+	marginExp := func(m float64) string { return fmt.Sprintf("%s/majority/m=%g", id, m) }
+	var points []sweep.Point
 	for _, margin := range margins {
 		plus := n/2 + int(margin*float64(n)/2)
 		opinions := make([]int8, n)
@@ -30,57 +31,77 @@ func Composition(n int, margins []float64, trials int, seedBase uint64) stats.Ta
 				opinions[i] = -1
 			}
 		}
-		succ := make([]bool, trials)
-		times := stats.ParallelTrials(trials, func(tr int) float64 {
-			p := compose.MustNew(compose.Config{F: 16}, majority.Downstream(opinions))
-			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*73))
+		points = append(points, sweep.Point{
+			Experiment: marginExp(margin), N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				p := compose.MustNew(compose.Config{F: 16}, majority.Downstream(opinions))
+				s := p.NewSim(n, pop.WithSeed(seed))
+				ok, at := s.RunUntil(p.Converged, 10, 5e5)
+				if ok {
+					s.RunTime(20 * math.Log2(float64(n)))
+				}
+				pl, mi, und := majority.Outputs(s)
+				succ := sweep.Bool(ok && und == 0 && pl > 0 && mi == 0)
+				if !ok {
+					at = math.NaN()
+				}
+				return sweep.Values{"time": at, "success": succ}
+			},
+		})
+	}
+	points = append(points, sweep.Point{
+		Experiment: id + "/leader", N: n, Trials: trials,
+		Run: func(tr int, seed uint64) sweep.Values {
+			p := compose.MustNew(compose.Config{F: 16}, leaderelect.Downstream())
+			s := p.NewSim(n, pop.WithSeed(seed))
 			ok, at := s.RunUntil(p.Converged, 10, 5e5)
 			if ok {
-				s.RunTime(20 * math.Log2(float64(n)))
+				// The coin-flip tiebreak continues after the staged rounds.
+				s.RunUntil(func(s pop.Engine[compose.State[leaderelect.State]]) bool {
+					return leaderelect.Candidates(s) == 1
+				}, 10, 1e5)
 			}
-			pl, mi, und := majority.Outputs(s)
-			succ[tr] = ok && und == 0 && pl > 0 && mi == 0
+			unique := sweep.Bool(leaderelect.Candidates(s) == 1)
 			if !ok {
-				return math.NaN()
+				at = math.NaN()
 			}
-			return at
-		})
-		nSucc := 0
-		for _, s := range succ {
-			if s {
-				nSucc++
-			}
-		}
-		ts := stats.Summarize(times)
-		t.AddRow("majority", stats.I(n), stats.F(margin),
-			stats.I(nSucc)+"/"+stats.I(trials), stats.F(ts.Mean))
-	}
-
-	unique := make([]bool, trials)
-	leTimes := stats.ParallelTrials(trials, func(tr int) float64 {
-		p := compose.MustNew(compose.Config{F: 16}, leaderelect.Downstream())
-		s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*79))
-		ok, at := s.RunUntil(p.Converged, 10, 5e5)
-		if ok {
-			// The coin-flip tiebreak continues after the staged rounds.
-			s.RunUntil(func(s pop.Engine[compose.State[leaderelect.State]]) bool {
-				return leaderelect.Candidates(s) == 1
-			}, 10, 1e5)
-		}
-		unique[tr] = leaderelect.Candidates(s) == 1
-		if !ok {
-			return math.NaN()
-		}
-		return at
+			return sweep.Values{"time": at, "unique": unique}
+		},
 	})
-	nUnique := 0
-	for _, u := range unique {
-		if u {
-			nUnique++
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title: "E17: uniformized downstream protocols via the §1.1 composition",
+			Note: "Majority margins are fractions of n (0.01 = 51/49 split). " +
+				"Success = every agent outputs the true majority sign.",
+			Columns: []string{"protocol", "n", "margin", "success", "mean time"},
 		}
+		for _, margin := range margins {
+			exp := marginExp(margin)
+			nSucc := 0
+			for _, s := range res.Values(exp, n, "success") {
+				if s == 1 {
+					nSucc++
+				}
+			}
+			ts := stats.Summarize(res.Values(exp, n, "time"))
+			t.AddRow("majority", stats.I(n), stats.F(margin),
+				stats.I(nSucc)+"/"+stats.I(trials), stats.F(ts.Mean))
+		}
+		nUnique := 0
+		for _, u := range res.Values(id+"/leader", n, "unique") {
+			if u == 1 {
+				nUnique++
+			}
+		}
+		ts := stats.Summarize(res.Values(id+"/leader", n, "time"))
+		t.AddRow("leader election", stats.I(n), "—",
+			stats.I(nUnique)+"/"+stats.I(trials), stats.F(ts.Mean))
+		return t
 	}
-	ts := stats.Summarize(leTimes)
-	t.AddRow("leader election", stats.I(n), "—",
-		stats.I(nUnique)+"/"+stats.I(trials), stats.F(ts.Mean))
-	return t
+	return Def{ID: id, Points: points, Render: render}
+}
+
+// Composition renders E17 via a local sweep (legacy form).
+func Composition(n int, margins []float64, trials int, seedBase uint64) stats.Table {
+	return CompositionDef(n, margins, trials).Table(seedBase)
 }

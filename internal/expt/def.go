@@ -1,0 +1,112 @@
+package expt
+
+import (
+	"fmt"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/stats"
+	"github.com/popsim/popsize/internal/sweep"
+	"github.com/popsim/popsize/internal/synthcoin"
+)
+
+// Def couples one experiment's sweep points with the renderer that turns
+// the recorded trials back into the experiment's table. Generators no
+// longer run their own trial loops: they declare points, the sweep
+// subsystem executes them (one global queue when a command submits several
+// experiments at once), and Render reads the per-trial values back out of
+// the results — whether those came from a live run or from a resumed JSONL
+// checkpoint.
+type Def struct {
+	// ID is the experiment's index entry (F2, E1–E18, A1–A3). Points may
+	// refine it with sub-configuration labels ("E17/majority/m=0.2").
+	ID     string
+	Points []sweep.Point
+	Render func(*sweep.Results) stats.Table
+}
+
+// Table runs the Def's points through a local sweep (no JSONL stream) and
+// renders its table — the single-experiment path used by the legacy
+// generator wrappers and the tests. Commands that run many experiments
+// submit all their Points into one shared queue instead, so trials from
+// different experiments interleave across the worker pool.
+func (d Def) Table(seedBase uint64) stats.Table {
+	return d.Render(runLocal(d.Points, seedBase))
+}
+
+// runLocal executes points with no output stream or checkpoint.
+func runLocal(points []sweep.Point, seedBase uint64) *sweep.Results {
+	res, err := sweep.Run(
+		sweep.Spec{Points: points, BaseSeed: seedBase, Backend: Backend()},
+		sweep.Options{})
+	if err != nil {
+		// Run errs only on checkpoint mismatches and stream writes,
+		// neither of which a local run has.
+		panic(fmt.Sprintf("expt: local sweep failed: %v", err))
+	}
+	return res
+}
+
+// Params sizes the default reproduction suite (see EXPERIMENTS.md):
+// population-size grids, per-point trial counts, IID sample counts for the
+// distributional experiments (E8/E9), and the composition population.
+type Params struct {
+	Ns       []int
+	BigNs    []int
+	Trials   int
+	Samples  int
+	ComposeN int
+}
+
+// DefaultParams is the full EXPERIMENTS.md sizing.
+func DefaultParams() Params {
+	return Params{
+		Ns:       []int{100, 1000, 10000},
+		BigNs:    []int{1000, 10000, 100000},
+		Trials:   10,
+		Samples:  20000,
+		ComposeN: 1000,
+	}
+}
+
+// QuickParams is the -quick smoke sizing.
+func QuickParams() Params {
+	return Params{
+		Ns:       []int{100, 500},
+		BigNs:    []int{500, 5000},
+		Trials:   4,
+		Samples:  4000,
+		ComposeN: 400,
+	}
+}
+
+// DefaultDefs assembles the whole reproduction suite — DESIGN.md's
+// experiment index in order — sized by p. It is the single source of truth
+// for which trials the suite runs, which is what lets the seed-derivation
+// regression test assert pairwise-distinct engine seeds over the exact
+// default grid.
+func DefaultDefs(cfg core.Config, scCfg synthcoin.Config, p Params) []Def {
+	last := p.Ns[len(p.Ns)-1]
+	return []Def{
+		Fig2Def(cfg, p.Ns, p.Trials),
+		ErrorDistributionDef(cfg, p.Ns, p.Trials*3),
+		StateCountDef(cfg, p.Ns, p.Trials),
+		PartitionDef(cfg, p.Ns, p.Trials*3),
+		LogSize2RangeDef(cfg, p.Ns, p.Trials*3),
+		EpidemicDef(p.Ns, p.Trials),
+		InteractionConcentrationDef(p.BigNs, p.Trials),
+		MaxGeometricDef(p.BigNs, p.Samples),
+		SumOfMaximaDef(p.BigNs, p.Samples/4),
+		DepletionDef(p.Ns, p.Trials),
+		ProducibilityDef(p.BigNs, p.Trials),
+		TerminationDenseDef(cfg, p.Ns, p.Trials),
+		LeaderTerminationDef(cfg, p.Ns[:len(p.Ns)-1], p.Trials),
+		UpperBoundDef(cfg, []int{64, 128, 256}, p.Trials),
+		SyntheticCoinDef(cfg, scCfg, p.Ns[:len(p.Ns)-1], p.Trials),
+		BaselinesDef(cfg, []int{100, 400, 1600}, p.Trials),
+		CompositionDef(p.ComposeN, []float64{0.5, 0.2, 0.05}, p.Trials),
+		ArithmeticDef(p.Ns, p.Trials),
+		AblationClockFactorDef(last, []int{4, 8, 16, 32, 95}, p.Trials),
+		AblationEpochFactorDef(last, []int{1, 2, 3, 5}, p.Trials),
+		AblationNoRestartDef(last, p.Trials*2),
+	}
+}

@@ -1,7 +1,10 @@
 // Package expt defines the experiment generators behind DESIGN.md's
-// per-experiment index (F2, E1–E17, A1–A3). Each generator returns a
-// stats.Table; cmd/experiments renders them to markdown/CSV and the root
-// benchmarks re-run them at reduced scale.
+// per-experiment index (F2, E1–E18, A1–A3). Each experiment is a Def:
+// declarative sweep points (one trial function per grid cell) plus a
+// renderer from the recorded trials to a stats.Table. cmd/experiments
+// submits every selected Def into one sweep queue, streams JSONL records,
+// and renders the tables; the root benchmarks re-run the generators at
+// reduced scale.
 package expt
 
 import (
@@ -9,6 +12,7 @@ import (
 
 	"github.com/popsim/popsize/internal/core"
 	"github.com/popsim/popsize/internal/stats"
+	"github.com/popsim/popsize/internal/sweep"
 )
 
 // Fig2Result carries the Figure 2 reproduction data: per-trial convergence
@@ -18,50 +22,72 @@ type Fig2Result struct {
 	Points []stats.Point
 }
 
-// Fig2 reproduces Figure 2: convergence time of Log-Size-Estimation vs
-// population size, `trials` runs per size. Convergence follows the paper's
-// caption (all agents reach epoch = K) plus output delivery, and the
-// per-trial estimate error is recorded alongside (the caption's "in
-// practice the estimate is always within 2").
-func Fig2(cfg core.Config, ns []int, trials int, seedBase uint64) Fig2Result {
+// Fig2Def is F2: convergence time of Log-Size-Estimation vs population
+// size, `trials` runs per size. Convergence follows the paper's caption
+// (all agents reach epoch = K) plus output delivery, and the per-trial
+// estimate error is recorded alongside (the caption's "in practice the
+// estimate is always within 2").
+func Fig2Def(cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
-	res := Fig2Result{
-		Table: stats.Table{
+	const id = "F2"
+	var points []sweep.Point
+	for _, n := range ns {
+		points = append(points, sweep.Point{
+			Experiment: id, N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				t := r.Time
+				if !r.Converged {
+					t = math.NaN()
+				}
+				return sweep.Values{"time": t, "err": r.MaxErr}
+			},
+		})
+	}
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
 			Title: "F2: Figure 2 — convergence time vs population size",
 			Note: "Convergence = all agents reach epoch = K with a common logSize2 and hold " +
 				"an output. Parallel time units (interactions/n).",
 			Columns: []string{"n", "log2 n", "trials", "time mean", "time min", "time max",
 				"time/log² n", "max |err|", "errs > 2"},
-		},
+		}
+		for _, n := range ns {
+			times := res.Values(id, n, "time")
+			over2 := 0
+			maxErr := 0.0
+			for _, e := range res.Values(id, n, "err") {
+				if e > 2 {
+					over2++
+				}
+				maxErr = math.Max(maxErr, e)
+			}
+			sum := stats.Summarize(times)
+			logN := math.Log2(float64(n))
+			t.AddRow(stats.I(n), stats.F(logN), stats.I(trials),
+				stats.F(sum.Mean), stats.F(sum.Min), stats.F(sum.Max),
+				stats.F(sum.Mean/(logN*logN)), stats.F(maxErr), stats.I(over2))
+		}
+		return t
 	}
+	return Def{ID: id, Points: points, Render: render}
+}
+
+// Fig2Points extracts the Figure 2 scatter (per-trial convergence time vs
+// n) from a sweep's results.
+func Fig2Points(res *sweep.Results, ns []int) []stats.Point {
+	var pts []stats.Point
 	for _, n := range ns {
-		times := make([]float64, trials)
-		errs := make([]float64, trials)
-		rts := stats.ParallelTrials(trials, func(t int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(t)*1001, Backend: Backend()})
-			errs[t] = r.MaxErr
-			if !r.Converged {
-				return math.NaN()
-			}
-			return r.Time
-		})
-		copy(times, rts)
-		over2 := 0
-		maxErr := 0.0
-		for _, e := range errs {
-			if e > 2 {
-				over2++
-			}
-			maxErr = math.Max(maxErr, e)
-		}
-		sum := stats.Summarize(times)
-		logN := math.Log2(float64(n))
-		res.Table.AddRow(stats.I(n), stats.F(logN), stats.I(trials),
-			stats.F(sum.Mean), stats.F(sum.Min), stats.F(sum.Max),
-			stats.F(sum.Mean/(logN*logN)), stats.F(maxErr), stats.I(over2))
-		for _, t := range times {
-			res.Points = append(res.Points, stats.Point{X: float64(n), Y: t})
+		for _, t := range res.Values("F2", n, "time") {
+			pts = append(pts, stats.Point{X: float64(n), Y: t})
 		}
 	}
-	return res
+	return pts
+}
+
+// Fig2 runs the Figure 2 reproduction via a local sweep (legacy form).
+func Fig2(cfg core.Config, ns []int, trials int, seedBase uint64) Fig2Result {
+	d := Fig2Def(cfg, ns, trials)
+	res := runLocal(d.Points, seedBase)
+	return Fig2Result{Table: d.Render(res), Points: Fig2Points(res, ns)}
 }

@@ -9,264 +9,396 @@ import (
 	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/prob"
 	"github.com/popsim/popsize/internal/stats"
+	"github.com/popsim/popsize/internal/sweep"
 )
 
-// ErrorDistribution is E1: the additive-error distribution of the main
+// ErrorDistributionDef is E1: the additive-error distribution of the main
 // protocol vs Theorem 3.1's |k − log n| <= 5.7 with failure probability
 // 9/n.
-func ErrorDistribution(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+func ErrorDistributionDef(cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
-	t := stats.Table{
-		Title: "E1: additive error |k − log n| (Theorem 3.1: <= 5.7 w.p. >= 1 − 9/n)",
-		Columns: []string{"n", "trials", "err mean", "err q90", "err max",
-			"> 5.7", "bound 9/n × trials"},
-	}
+	const id = "E1"
+	var points []sweep.Point
 	for _, n := range ns {
-		errs := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*7919, Backend: Backend()})
-			return r.MaxErr
+		points = append(points, sweep.Point{
+			Experiment: id, N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				return sweep.Values{"err": r.MaxErr}
+			},
 		})
-		over := 0
-		for _, e := range errs {
-			if e > prob.MainErrorBound {
-				over++
-			}
+	}
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title: "E1: additive error |k − log n| (Theorem 3.1: <= 5.7 w.p. >= 1 − 9/n)",
+			Columns: []string{"n", "trials", "err mean", "err q90", "err max",
+				"> 5.7", "bound 9/n × trials"},
 		}
-		s := stats.Summarize(errs)
-		t.AddRow(stats.I(n), stats.I(trials), stats.F(s.Mean), stats.F(s.Q90),
-			stats.F(s.Max), stats.I(over),
-			stats.F(prob.MainErrorFailureProb(n)*float64(trials)))
-	}
-	return t
-}
-
-// StateCount is E3: distinct states used per execution vs Lemma 3.9's
-// O(log⁴ n), plus per-field maxima vs the lemma's table.
-func StateCount(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	p := core.MustNew(cfg)
-	t := stats.Table{
-		Title: "E3: state complexity (Lemma 3.9: O(log⁴ n) states w.h.p.)",
-		Note: "states/log⁴n should stay bounded as n grows. Field maxima " +
-			"correspond to Lemma 3.9's per-field ranges (constants scale with the preset).",
-		Columns: []string{"n", "distinct states (mean)", "states/log⁴ n",
-			"max logSize2", "max gr", "max time", "max epoch", "max sum"},
-	}
-	for _, n := range ns {
-		maxima := make([]core.FieldMaxima, trials)
-		counts := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*53), pop.WithStateTracking(), engineOpt())
-			// Sample field maxima along the run (a converged snapshot has
-			// all clocks reset, which would under-report the time field).
-			var fm core.FieldMaxima
-			ok := false
-			deadline := p.DefaultMaxTime(n)
-			for s.Time() < deadline {
-				s.RunTime(math.Log2(float64(n)))
-				m := core.Maxima(s)
-				fm.LogSize2 = max(fm.LogSize2, m.LogSize2)
-				fm.GR = max(fm.GR, m.GR)
-				fm.Time = max(fm.Time, m.Time)
-				fm.Epoch = max(fm.Epoch, m.Epoch)
-				fm.Sum = max(fm.Sum, m.Sum)
-				if p.Converged(s) {
-					ok = true
-					break
+		for _, n := range ns {
+			errs := res.Values(id, n, "err")
+			over := 0
+			for _, e := range errs {
+				if e > prob.MainErrorBound {
+					over++
 				}
 			}
-			maxima[tr] = fm
-			if !ok {
-				return math.NaN()
-			}
-			return float64(s.DistinctStates())
-		})
-		var fm core.FieldMaxima
-		for _, m := range maxima {
-			fm.LogSize2 = max(fm.LogSize2, m.LogSize2)
-			fm.GR = max(fm.GR, m.GR)
-			fm.Time = max(fm.Time, m.Time)
-			fm.Epoch = max(fm.Epoch, m.Epoch)
-			fm.Sum = max(fm.Sum, m.Sum)
+			s := stats.Summarize(errs)
+			t.AddRow(stats.I(n), stats.I(trials), stats.F(s.Mean), stats.F(s.Q90),
+				stats.F(s.Max), stats.I(over),
+				stats.F(prob.MainErrorFailureProb(n)*float64(trials)))
 		}
-		s := stats.Summarize(counts)
-		l4 := math.Pow(math.Log2(float64(n)), 4)
-		t.AddRow(stats.I(n), stats.F(s.Mean), stats.F(s.Mean/l4),
-			stats.I(int(fm.LogSize2)), stats.I(int(fm.GR)), stats.I(int(fm.Time)),
-			stats.I(int(fm.Epoch)), stats.I(int(fm.Sum)))
+		return t
 	}
-	return t
+	return Def{ID: id, Points: points, Render: render}
 }
 
-// Partition is E4: the |A| ≈ n/2 concentration of Lemma 3.2/Corollary 3.3.
+// ErrorDistribution renders E1 via a local sweep (legacy form).
+func ErrorDistribution(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	return ErrorDistributionDef(cfg, ns, trials).Table(seedBase)
+}
+
+// StateCountDef is E3: distinct states used per execution vs Lemma 3.9's
+// O(log⁴ n), plus per-field maxima vs the lemma's table.
+func StateCountDef(cfg core.Config, ns []int, trials int) Def {
+	p := core.MustNew(cfg)
+	const id = "E3"
+	var points []sweep.Point
+	for _, n := range ns {
+		points = append(points, sweep.Point{
+			Experiment: id, N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				s := p.NewEngine(n, pop.WithSeed(seed), pop.WithStateTracking(), engineOpt())
+				// Sample field maxima along the run (a converged snapshot has
+				// all clocks reset, which would under-report the time field).
+				var fm core.FieldMaxima
+				ok := false
+				deadline := p.DefaultMaxTime(n)
+				for s.Time() < deadline {
+					s.RunTime(math.Log2(float64(n)))
+					m := core.Maxima(s)
+					fm.LogSize2 = max(fm.LogSize2, m.LogSize2)
+					fm.GR = max(fm.GR, m.GR)
+					fm.Time = max(fm.Time, m.Time)
+					fm.Epoch = max(fm.Epoch, m.Epoch)
+					fm.Sum = max(fm.Sum, m.Sum)
+					if p.Converged(s) {
+						ok = true
+						break
+					}
+				}
+				states := math.NaN()
+				if ok {
+					states = float64(s.DistinctStates())
+				}
+				return sweep.Values{
+					"states":       states,
+					"max_logsize2": float64(fm.LogSize2),
+					"max_gr":       float64(fm.GR),
+					"max_time":     float64(fm.Time),
+					"max_epoch":    float64(fm.Epoch),
+					"max_sum":      float64(fm.Sum),
+				}
+			},
+		})
+	}
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title: "E3: state complexity (Lemma 3.9: O(log⁴ n) states w.h.p.)",
+			Note: "states/log⁴n should stay bounded as n grows. Field maxima " +
+				"correspond to Lemma 3.9's per-field ranges (constants scale with the preset).",
+			Columns: []string{"n", "distinct states (mean)", "states/log⁴ n",
+				"max logSize2", "max gr", "max time", "max epoch", "max sum"},
+		}
+		maxOf := func(n int, field string) int {
+			m := 0.0
+			for _, v := range res.Values(id, n, field) {
+				m = math.Max(m, v)
+			}
+			return int(m)
+		}
+		for _, n := range ns {
+			s := stats.Summarize(res.Values(id, n, "states"))
+			l4 := math.Pow(math.Log2(float64(n)), 4)
+			t.AddRow(stats.I(n), stats.F(s.Mean), stats.F(s.Mean/l4),
+				stats.I(maxOf(n, "max_logsize2")), stats.I(maxOf(n, "max_gr")),
+				stats.I(maxOf(n, "max_time")), stats.I(maxOf(n, "max_epoch")),
+				stats.I(maxOf(n, "max_sum")))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
+}
+
+// StateCount renders E3 via a local sweep (legacy form).
+func StateCount(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	return StateCountDef(cfg, ns, trials).Table(seedBase)
+}
+
+// PartitionDef is E4: the |A| ≈ n/2 concentration of Lemma 3.2/Cor 3.3.
+func PartitionDef(cfg core.Config, ns []int, trials int) Def {
+	p := core.MustNew(cfg)
+	const id = "E4"
+	var points []sweep.Point
+	for _, n := range ns {
+		points = append(points, sweep.Point{
+			Experiment: id, N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				s := p.NewEngine(n, pop.WithSeed(seed), engineOpt())
+				s.RunTime(8 * math.Log2(float64(n)))
+				a := s.Count(func(st core.State) bool { return st.Role == core.RoleA })
+				return sweep.Values{"dev": math.Abs(float64(a) - float64(n)/2)}
+			},
+		})
+	}
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title:   "E4: partition balance (Lemma 3.2: |#A − n/2| <= a w.p. >= 1 − 2e^(−2a²/n))",
+			Columns: []string{"n", "trials", "mean |dev|", "max |dev|", "√(n ln n)", "beyond √(n ln n)"},
+		}
+		for _, n := range ns {
+			devs := res.Values(id, n, "dev")
+			bound := math.Sqrt(float64(n) * math.Log(float64(n)))
+			over := 0
+			for _, d := range devs {
+				if d > bound {
+					over++
+				}
+			}
+			s := stats.Summarize(devs)
+			t.AddRow(stats.I(n), stats.I(trials), stats.F(s.Mean), stats.F(s.Max),
+				stats.F(bound), stats.I(over))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
+}
+
+// Partition renders E4 via a local sweep (legacy form).
 func Partition(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	p := core.MustNew(cfg)
-	t := stats.Table{
-		Title:   "E4: partition balance (Lemma 3.2: |#A − n/2| <= a w.p. >= 1 − 2e^(−2a²/n))",
-		Columns: []string{"n", "trials", "mean |dev|", "max |dev|", "√(n ln n)", "beyond √(n ln n)"},
-	}
-	for _, n := range ns {
-		devs := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*131), engineOpt())
-			s.RunTime(8 * math.Log2(float64(n)))
-			a := s.Count(func(st core.State) bool { return st.Role == core.RoleA })
-			return math.Abs(float64(a) - float64(n)/2)
-		})
-		bound := math.Sqrt(float64(n) * math.Log(float64(n)))
-		over := 0
-		for _, d := range devs {
-			if d > bound {
-				over++
-			}
-		}
-		s := stats.Summarize(devs)
-		t.AddRow(stats.I(n), stats.I(trials), stats.F(s.Mean), stats.F(s.Max),
-			stats.F(bound), stats.I(over))
-	}
-	return t
+	return PartitionDef(cfg, ns, trials).Table(seedBase)
 }
 
-// LogSize2Range is E5: the weak estimate's Lemma 3.8 interval
+// LogSize2RangeDef is E5: the weak estimate's Lemma 3.8 interval
 // [log n − log ln n, 2 log n + 1], plus Corollary A.2's gr interval.
-func LogSize2Range(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+func LogSize2RangeDef(cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
-	t := stats.Table{
-		Title:   "E5: logSize2 range (Lemma 3.8) — effective value = raw + bonus",
-		Columns: []string{"n", "lo bound", "hi bound", "min seen", "max seen", "outside"},
-	}
+	const id = "E5"
+	var points []sweep.Point
 	for _, n := range ns {
-		lo, hi := prob.LogSize2Interval(n)
-		vals := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*977), engineOpt())
-			s.RunTime(10 * math.Log2(float64(n)))
-			// By this time the maximum has propagated to all agents.
-			return float64(core.Maxima(s).LogSize2 + uint8(cfg.GeomBonus))
+		points = append(points, sweep.Point{
+			Experiment: id, N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				s := p.NewEngine(n, pop.WithSeed(seed), engineOpt())
+				s.RunTime(10 * math.Log2(float64(n)))
+				// By this time the maximum has propagated to all agents.
+				return sweep.Values{"val": float64(core.Maxima(s).LogSize2 + uint8(cfg.GeomBonus))}
+			},
 		})
-		outside := 0
-		for _, v := range vals {
-			if v < lo || v > hi {
-				outside++
-			}
-		}
-		s := stats.Summarize(vals)
-		t.AddRow(stats.I(n), stats.F(lo), stats.F(hi), stats.F(s.Min), stats.F(s.Max),
-			stats.I(outside))
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title:   "E5: logSize2 range (Lemma 3.8) — effective value = raw + bonus",
+			Columns: []string{"n", "lo bound", "hi bound", "min seen", "max seen", "outside"},
+		}
+		for _, n := range ns {
+			lo, hi := prob.LogSize2Interval(n)
+			vals := res.Values(id, n, "val")
+			outside := 0
+			for _, v := range vals {
+				if v < lo || v > hi {
+					outside++
+				}
+			}
+			s := stats.Summarize(vals)
+			t.AddRow(stats.I(n), stats.F(lo), stats.F(hi), stats.F(s.Min), stats.F(s.Max),
+				stats.I(outside))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
 }
 
-// InteractionConcentration is E7: Lemma 3.6 — in C·ln n time no agent has
-// more than D·ln n = (2C+√12C)·ln n interactions, w.p. >= 1 − 1/n. It
+// LogSize2Range renders E5 via a local sweep (legacy form).
+func LogSize2Range(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	return LogSize2RangeDef(cfg, ns, trials).Table(seedBase)
+}
+
+// InteractionConcentrationDef is E7: Lemma 3.6 — in C·ln n time no agent
+// has more than D·ln n = (2C+√12C)·ln n interactions, w.p. >= 1 − 1/n. It
 // needs per-agent interaction counts, which only the sequential engine
-// provides, so it ignores the package backend setting.
-func InteractionConcentration(ns []int, trials int, seedBase uint64) stats.Table {
+// provides, so its trials ignore the package backend setting.
+func InteractionConcentrationDef(ns []int, trials int) Def {
 	const c = 3.0
 	d := prob.InteractionCountD(c)
-	t := stats.Table{
-		Title:   fmt.Sprintf("E7: interaction concentration (Lemma 3.6, C = %.0f, D = %.2f)", c, d),
-		Columns: []string{"n", "trials", "window C·ln n", "max count seen", "bound D·ln n", "violations"},
-	}
+	const id = "E7"
+	var points []sweep.Point
 	for _, n := range ns {
-		window := c * math.Log(float64(n))
-		bound := d * math.Log(float64(n))
-		maxes := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := pop.New(n, func(int, *rand.Rand) struct{} { return struct{}{} },
-				func(a, b struct{}, _ *rand.Rand) (struct{}, struct{}) { return a, b },
-				pop.WithSeed(seedBase+uint64(tr)*389), pop.WithInteractionCounts())
-			s.RunTime(window)
-			return float64(s.MaxInteractionCount())
+		points = append(points, sweep.Point{
+			Experiment: id, N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				s := pop.New(n, func(int, *rand.Rand) struct{} { return struct{}{} },
+					func(a, b struct{}, _ *rand.Rand) (struct{}, struct{}) { return a, b },
+					pop.WithSeed(seed), pop.WithInteractionCounts())
+				s.RunTime(c * math.Log(float64(n)))
+				return sweep.Values{"maxcount": float64(s.MaxInteractionCount())}
+			},
 		})
-		viol := 0
-		for _, m := range maxes {
-			if m > bound {
-				viol++
-			}
-		}
-		s := stats.Summarize(maxes)
-		t.AddRow(stats.I(n), stats.I(trials), stats.F(window), stats.F(s.Max),
-			stats.F(bound), stats.I(viol))
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title:   fmt.Sprintf("E7: interaction concentration (Lemma 3.6, C = %.0f, D = %.2f)", c, d),
+			Columns: []string{"n", "trials", "window C·ln n", "max count seen", "bound D·ln n", "violations"},
+		}
+		for _, n := range ns {
+			window := c * math.Log(float64(n))
+			bound := d * math.Log(float64(n))
+			maxes := res.Values(id, n, "maxcount")
+			viol := 0
+			for _, m := range maxes {
+				if m > bound {
+					viol++
+				}
+			}
+			s := stats.Summarize(maxes)
+			t.AddRow(stats.I(n), stats.I(trials), stats.F(window), stats.F(s.Max),
+				stats.F(bound), stats.I(viol))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
 }
 
-// AblationClockFactor is A1: sweep the per-epoch threshold multiplier.
-func AblationClockFactor(n int, factors []int, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title: fmt.Sprintf("A1: clock-factor ablation at n = %d (paper: 95)", n),
-		Note: "Small factors end epochs before the max-gr epidemic completes, " +
-			"inflating error; large factors only cost time.",
-		Columns: []string{"clock factor", "err mean", "err max", "time mean"},
-	}
+// InteractionConcentration renders E7 via a local sweep (legacy form).
+func InteractionConcentration(ns []int, trials int, seedBase uint64) stats.Table {
+	return InteractionConcentrationDef(ns, trials).Table(seedBase)
+}
+
+// AblationClockFactorDef is A1: sweep the per-epoch threshold multiplier.
+func AblationClockFactorDef(n int, factors []int, trials int) Def {
+	const id = "A1"
+	var points []sweep.Point
 	for _, f := range factors {
 		cfg := core.FastConfig()
 		cfg.ClockFactor = f
 		p := core.MustNew(cfg)
-		errs := make([]float64, trials)
-		times := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*17, Backend: Backend()})
-			errs[tr] = r.MaxErr
-			return r.Time
+		points = append(points, sweep.Point{
+			Experiment: fmt.Sprintf("%s/cf=%d", id, f), N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				return sweep.Values{"err": r.MaxErr, "time": r.Time}
+			},
 		})
-		es, ts := stats.Summarize(errs), stats.Summarize(times)
-		t.AddRow(stats.I(f), stats.F(es.Mean), stats.F(es.Max), stats.F(ts.Mean))
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title: fmt.Sprintf("A1: clock-factor ablation at n = %d (paper: 95)", n),
+			Note: "Small factors end epochs before the max-gr epidemic completes, " +
+				"inflating error; large factors only cost time.",
+			Columns: []string{"clock factor", "err mean", "err max", "time mean"},
+		}
+		for _, f := range factors {
+			exp := fmt.Sprintf("%s/cf=%d", id, f)
+			es := stats.Summarize(res.Values(exp, n, "err"))
+			ts := stats.Summarize(res.Values(exp, n, "time"))
+			t.AddRow(stats.I(f), stats.F(es.Mean), stats.F(es.Max), stats.F(ts.Mean))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
 }
 
-// AblationEpochFactor is A2: sweep K = factor·L against Corollary D.10's
-// K >= 4·log n requirement.
-func AblationEpochFactor(n int, factors []int, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title: fmt.Sprintf("A2: epoch-factor ablation at n = %d (paper: 5; Cor D.10 needs K >= 4 log n)", n),
-		Note: "Fewer epochs mean fewer samples in the average: error variance grows " +
-			"as the factor shrinks.",
-		Columns: []string{"epoch factor", "K (typ.)", "err mean", "err std", "time mean"},
-	}
+// AblationClockFactor renders A1 via a local sweep (legacy form).
+func AblationClockFactor(n int, factors []int, trials int, seedBase uint64) stats.Table {
+	return AblationClockFactorDef(n, factors, trials).Table(seedBase)
+}
+
+// AblationEpochFactorDef is A2: sweep K = factor·L against Corollary
+// D.10's K >= 4·log n requirement.
+func AblationEpochFactorDef(n int, factors []int, trials int) Def {
+	const id = "A2"
+	var points []sweep.Point
 	for _, f := range factors {
 		cfg := core.FastConfig()
 		cfg.EpochFactor = f
 		p := core.MustNew(cfg)
-		errs := make([]float64, trials)
-		ks := make([]float64, trials)
-		times := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*29, Backend: Backend()})
-			errs[tr] = r.MaxErr
-			ks[tr] = float64(cfg.EpochTarget(uint8(r.LogSize2)))
-			return r.Time
+		points = append(points, sweep.Point{
+			Experiment: fmt.Sprintf("%s/ef=%d", id, f), N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				return sweep.Values{
+					"err":  r.MaxErr,
+					"k":    float64(cfg.EpochTarget(uint8(r.LogSize2))),
+					"time": r.Time,
+				}
+			},
 		})
-		es, ts, kss := stats.Summarize(errs), stats.Summarize(times), stats.Summarize(ks)
-		t.AddRow(stats.I(f), stats.F(kss.Mean), stats.F(es.Mean), stats.F(es.Std), stats.F(ts.Mean))
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title: fmt.Sprintf("A2: epoch-factor ablation at n = %d (paper: 5; Cor D.10 needs K >= 4 log n)", n),
+			Note: "Fewer epochs mean fewer samples in the average: error variance grows " +
+				"as the factor shrinks.",
+			Columns: []string{"epoch factor", "K (typ.)", "err mean", "err std", "time mean"},
+		}
+		for _, f := range factors {
+			exp := fmt.Sprintf("%s/ef=%d", id, f)
+			es := stats.Summarize(res.Values(exp, n, "err"))
+			ts := stats.Summarize(res.Values(exp, n, "time"))
+			ks := stats.Summarize(res.Values(exp, n, "k"))
+			t.AddRow(stats.I(f), stats.F(ks.Mean), stats.F(es.Mean), stats.F(es.Std), stats.F(ts.Mean))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
 }
 
-// AblationNoRestart is A3: disable the restart scheme and show the error
-// blow-up (agents keep progress made under stale, too-small estimates).
-func AblationNoRestart(n int, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title:   fmt.Sprintf("A3: restart-scheme ablation at n = %d", n),
-		Columns: []string{"restart", "err mean", "err max", "converged"},
-	}
+// AblationEpochFactor renders A2 via a local sweep (legacy form).
+func AblationEpochFactor(n int, factors []int, trials int, seedBase uint64) stats.Table {
+	return AblationEpochFactorDef(n, factors, trials).Table(seedBase)
+}
+
+// AblationNoRestartDef is A3: disable the restart scheme and show the
+// error blow-up (agents keep progress made under stale, too-small
+// estimates).
+func AblationNoRestartDef(n int, trials int) Def {
+	const id = "A3"
+	labels := map[bool]string{false: "on", true: "off"}
+	var points []sweep.Point
 	for _, disable := range []bool{false, true} {
 		cfg := core.FastConfig()
 		cfg.DisableRestart = disable
 		p := core.MustNew(cfg)
-		converged := make([]bool, trials)
-		errs := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := p.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*43, Backend: Backend()})
-			converged[tr] = r.Converged
-			return r.MaxErr
+		points = append(points, sweep.Point{
+			Experiment: fmt.Sprintf("%s/restart=%s", id, labels[disable]), N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				return sweep.Values{"err": r.MaxErr, "converged": sweep.Bool(r.Converged)}
+			},
 		})
-		conv := 0
-		for _, c := range converged {
-			if c {
-				conv++
-			}
-		}
-		s := stats.Summarize(errs)
-		label := "on"
-		if disable {
-			label = "off"
-		}
-		t.AddRow(label, stats.F(s.Mean), stats.F(s.Max), fmt.Sprintf("%d/%d", conv, trials))
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title:   fmt.Sprintf("A3: restart-scheme ablation at n = %d", n),
+			Columns: []string{"restart", "err mean", "err max", "converged"},
+		}
+		for _, disable := range []bool{false, true} {
+			exp := fmt.Sprintf("%s/restart=%s", id, labels[disable])
+			conv := 0
+			for _, c := range res.Values(exp, n, "converged") {
+				if c == 1 {
+					conv++
+				}
+			}
+			s := stats.Summarize(res.Values(exp, n, "err"))
+			t.AddRow(labels[disable], stats.F(s.Mean), stats.F(s.Max),
+				fmt.Sprintf("%d/%d", conv, trials))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
+}
+
+// AblationNoRestart renders A3 via a local sweep (legacy form).
+func AblationNoRestart(n int, trials int, seedBase uint64) stats.Table {
+	return AblationNoRestartDef(n, trials).Table(seedBase)
 }

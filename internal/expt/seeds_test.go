@@ -1,0 +1,56 @@
+package expt
+
+import (
+	"testing"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/sweep"
+	"github.com/popsim/popsize/internal/synthcoin"
+)
+
+// TestDefaultSuiteSeedsDistinct is the regression test for the
+// cross-experiment seed-collision bug: expanding the full default
+// experiment suite into its sweep units must derive pairwise-distinct
+// engine seeds across every (experiment, n, trial) triple. Under the old
+// per-site `seedBase + trial*prime` scheme this fails — e.g. trial 29 of
+// the prime-17 experiment and trial 17 of the prime-29 experiment ran the
+// identical random stream.
+func TestDefaultSuiteSeedsDistinct(t *testing.T) {
+	for _, baseSeed := range []uint64{1, 42} {
+		var points []sweep.Point
+		for _, d := range DefaultDefs(core.FastConfig(), synthcoin.FastConfig(), DefaultParams()) {
+			points = append(points, d.Points...)
+		}
+		units := sweep.Spec{Points: points, BaseSeed: baseSeed}.Units()
+		if len(units) < 500 {
+			t.Fatalf("default suite expands to only %d units — registry lost experiments?", len(units))
+		}
+		seen := make(map[uint64]sweep.Key, len(units))
+		for _, u := range units {
+			if prev, ok := seen[u.Seed]; ok {
+				t.Fatalf("base seed %d: units %+v and %+v share engine seed %#x",
+					baseSeed, prev, u.Key, u.Seed)
+			}
+			seen[u.Seed] = u.Key
+		}
+	}
+}
+
+// TestDefaultSuiteCoversIndex: the registry carries the full DESIGN.md
+// experiment index, in order.
+func TestDefaultSuiteCoversIndex(t *testing.T) {
+	defs := DefaultDefs(core.FastConfig(), synthcoin.FastConfig(), QuickParams())
+	want := []string{"F2", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3"}
+	if len(defs) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(defs), len(want))
+	}
+	for i, d := range defs {
+		if d.ID != want[i] {
+			t.Errorf("defs[%d].ID = %s, want %s", i, d.ID, want[i])
+		}
+		if len(d.Points) == 0 {
+			t.Errorf("%s has no sweep points", d.ID)
+		}
+	}
+}

@@ -8,122 +8,178 @@ import (
 	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/producible"
 	"github.com/popsim/popsize/internal/stats"
+	"github.com/popsim/popsize/internal/sweep"
 	"github.com/popsim/popsize/internal/term"
 )
 
-// Producibility is E11: the timer/density Lemma 4.2 — every state in Λ^m_ρ
-// reaches a constant fraction of n by time 1 from α-dense configurations,
-// with the fraction independent of n.
-func Producibility(ns []int, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title: "E11: timer/density Lemma 4.2 — min density over Λ^m_ρ at time 1",
-		Note: "3-state approximate majority from ½X/½Y (m=1) and the constant-threshold " +
-			"counter terminator from all-c0 (m=4, T = terminated state). " +
-			"Densities must not vanish as n grows.",
-		Columns: []string{"protocol", "n", "min density (mean)", "min density (min)", "terminated count (mean)"},
-	}
+// ProducibilityDef is E11: the timer/density Lemma 4.2 — every state in
+// Λ^m_ρ reaches a constant fraction of n by time 1 from α-dense
+// configurations, with the fraction independent of n.
+func ProducibilityDef(ns []int, trials int) Def {
+	const id = "E11"
 	am := producible.ApproxMajority()
 	const m = 4
 	cc := producible.CounterChain(m)
+	var points []sweep.Point
 	for _, n := range ns {
-		amMins := stats.ParallelTrials(trials, func(tr int) float64 {
-			cfg := producible.DenseConfig([]int{0, 1}, 0.5, n)
-			return am.CheckLemma42(cfg, 1, 1, seedBase+uint64(tr)*3).MinFraction
-		})
-		s := stats.Summarize(amMins)
-		t.AddRow("approx-majority", stats.I(n), stats.F(s.Mean), stats.F(s.Min), "—")
-
-		termCounts := make([]float64, trials)
-		ccMins := stats.ParallelTrials(trials, func(tr int) float64 {
-			cfg := producible.DenseConfig([]int{0}, 1, n)
-			rep := cc.CheckLemma42(cfg, 1, m, seedBase+uint64(tr)*5)
-			termCounts[tr] = float64(rep.Counts[m])
-			return rep.MinFraction
-		})
-		s = stats.Summarize(ccMins)
-		tc := stats.Summarize(termCounts)
-		t.AddRow("counter-chain(4)", stats.I(n), stats.F(s.Mean), stats.F(s.Min), stats.F(tc.Mean))
+		points = append(points,
+			sweep.Point{
+				Experiment: id + "/approx-majority", N: n, Trials: trials,
+				Run: func(tr int, seed uint64) sweep.Values {
+					cfg := producible.DenseConfig([]int{0, 1}, 0.5, n)
+					return sweep.Values{"minfrac": am.CheckLemma42(cfg, 1, 1, seed).MinFraction}
+				},
+			},
+			sweep.Point{
+				Experiment: id + "/counter-chain", N: n, Trials: trials,
+				Run: func(tr int, seed uint64) sweep.Values {
+					cfg := producible.DenseConfig([]int{0}, 1, n)
+					rep := cc.CheckLemma42(cfg, 1, m, seed)
+					return sweep.Values{
+						"minfrac":    rep.MinFraction,
+						"terminated": float64(rep.Counts[m]),
+					}
+				},
+			})
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title: "E11: timer/density Lemma 4.2 — min density over Λ^m_ρ at time 1",
+			Note: "3-state approximate majority from ½X/½Y (m=1) and the constant-threshold " +
+				"counter terminator from all-c0 (m=4, T = terminated state). " +
+				"Densities must not vanish as n grows.",
+			Columns: []string{"protocol", "n", "min density (mean)", "min density (min)", "terminated count (mean)"},
+		}
+		for _, n := range ns {
+			s := stats.Summarize(res.Values(id+"/approx-majority", n, "minfrac"))
+			t.AddRow("approx-majority", stats.I(n), stats.F(s.Mean), stats.F(s.Min), "—")
+
+			s = stats.Summarize(res.Values(id+"/counter-chain", n, "minfrac"))
+			tc := stats.Summarize(res.Values(id+"/counter-chain", n, "terminated"))
+			t.AddRow("counter-chain(4)", stats.I(n), stats.F(s.Mean), stats.F(s.Min), stats.F(tc.Mean))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
 }
 
-// TerminationDense is E12, the empirical face of Theorem 4.1: the uniform
-// dense counter-terminator's first-termination time is flat in n, while the
-// leader-driven protocol (non-dense initial configuration — the theorem's
-// escape hatch) grows as Θ(log² n).
-func TerminationDense(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title: "E12: Theorem 4.1 — first-termination time vs n",
-		Note: "counter(40) is uniform with a 1-dense initial configuration: its signal " +
-			"cannot wait for n. The leader timer (Theorem 3.13) may: its initial " +
-			"configuration has a count-1 state.",
-		Columns: []string{"n", "dense counter(40) mean", "leader timer mean", "leader/dense ratio"},
-	}
+// Producibility renders E11 via a local sweep (legacy form).
+func Producibility(ns []int, trials int, seedBase uint64) stats.Table {
+	return ProducibilityDef(ns, trials).Table(seedBase)
+}
+
+// TerminationDenseDef is E12, the empirical face of Theorem 4.1: the
+// uniform dense counter-terminator's first-termination time is flat in n,
+// while the leader-driven protocol (non-dense initial configuration — the
+// theorem's escape hatch) grows as Θ(log² n).
+func TerminationDenseDef(cfg core.Config, ns []int, trials int) Def {
+	const id = "E12"
 	ct := term.CounterTerminator{Threshold: 40}
 	lp := leaderterm.MustNew(cfg, 0)
+	var points []sweep.Point
 	for _, n := range ns {
-		dense := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := pop.NewEngine(n, ct.Initial, ct.Rule, pop.WithSeed(seedBase+uint64(tr)*11), engineOpt())
-			at, ok := term.FirstTermination(s, term.Terminated, 0.5, 1e5)
-			if !ok {
-				return math.NaN()
-			}
-			return at
-		})
-		leader := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := lp.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*23), engineOpt())
-			at, ok := term.FirstTermination(s, leaderterm.Terminated, 5, 100*lp.Main().DefaultMaxTime(n))
-			if !ok {
-				return math.NaN()
-			}
-			return at
-		})
-		ds, ls := stats.Summarize(dense), stats.Summarize(leader)
-		t.AddRow(stats.I(n), stats.F(ds.Mean), stats.F(ls.Mean), stats.F(ls.Mean/ds.Mean))
+		points = append(points,
+			sweep.Point{
+				Experiment: id + "/dense", N: n, Trials: trials,
+				Run: func(tr int, seed uint64) sweep.Values {
+					s := pop.NewEngine(n, ct.Initial, ct.Rule, pop.WithSeed(seed), engineOpt())
+					at, ok := term.FirstTermination(s, term.Terminated, 0.5, 1e5)
+					if !ok {
+						at = math.NaN()
+					}
+					return sweep.Values{"time": at}
+				},
+			},
+			sweep.Point{
+				Experiment: id + "/leader", N: n, Trials: trials,
+				Run: func(tr int, seed uint64) sweep.Values {
+					s := lp.NewEngine(n, pop.WithSeed(seed), engineOpt())
+					at, ok := term.FirstTermination(s, leaderterm.Terminated, 5, 100*lp.Main().DefaultMaxTime(n))
+					if !ok {
+						at = math.NaN()
+					}
+					return sweep.Values{"time": at}
+				},
+			})
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title: "E12: Theorem 4.1 — first-termination time vs n",
+			Note: "counter(40) is uniform with a 1-dense initial configuration: its signal " +
+				"cannot wait for n. The leader timer (Theorem 3.13) may: its initial " +
+				"configuration has a count-1 state.",
+			Columns: []string{"n", "dense counter(40) mean", "leader timer mean", "leader/dense ratio"},
+		}
+		for _, n := range ns {
+			ds := stats.Summarize(res.Values(id+"/dense", n, "time"))
+			ls := stats.Summarize(res.Values(id+"/leader", n, "time"))
+			t.AddRow(stats.I(n), stats.F(ds.Mean), stats.F(ls.Mean), stats.F(ls.Mean/ds.Mean))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
 }
 
-// LeaderTermination is E13: Theorem 3.13 — with an initial leader,
+// TerminationDense renders E12 via a local sweep (legacy form).
+func TerminationDense(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	return TerminationDenseDef(cfg, ns, trials).Table(seedBase)
+}
+
+// LeaderTerminationDef is E13: Theorem 3.13 — with an initial leader,
 // termination fires after the main protocol has converged (w.h.p.), at
 // Θ(log² n) parallel time, and the resulting estimate meets the error
 // bound.
-func LeaderTermination(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title:   "E13: terminating size estimation with a leader (Theorem 3.13)",
-		Columns: []string{"n", "term time mean", "time/log² n", "terminated before convergence", "err max at termination"},
-	}
+func LeaderTerminationDef(cfg core.Config, ns []int, trials int) Def {
+	const id = "E13"
 	p := leaderterm.MustNew(cfg, 0)
+	var points []sweep.Point
 	for _, n := range ns {
-		early := make([]bool, trials)
-		errs := make([]float64, trials)
-		times := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewEngine(n, pop.WithSeed(seedBase+uint64(tr)*31), engineOpt())
-			at, ok := term.FirstTermination(s, leaderterm.Terminated, 2, 100*p.Main().DefaultMaxTime(n))
-			if !ok {
-				return math.NaN()
-			}
-			early[tr] = !p.MainConverged(s)
-			logN := math.Log2(float64(n))
-			maxErr := 0.0
-			for a := range s.Counts() {
-				if est, has := a.Main.Estimate(); has {
-					maxErr = math.Max(maxErr, math.Abs(est-logN))
+		points = append(points, sweep.Point{
+			Experiment: id, N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				s := p.NewEngine(n, pop.WithSeed(seed), engineOpt())
+				at, ok := term.FirstTermination(s, leaderterm.Terminated, 2, 100*p.Main().DefaultMaxTime(n))
+				if !ok {
+					// Match the historical per-trial defaults: a timed-out
+					// trial contributes NaN time but zero error/earliness.
+					return sweep.Values{"time": math.NaN(), "early": 0, "err": 0}
+				}
+				early := sweep.Bool(!p.MainConverged(s))
+				logN := math.Log2(float64(n))
+				maxErr := 0.0
+				for a := range s.Counts() {
+					if est, has := a.Main.Estimate(); has {
+						maxErr = math.Max(maxErr, math.Abs(est-logN))
+					}
+				}
+				return sweep.Values{"time": at, "early": early, "err": maxErr}
+			},
+		})
+	}
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title:   "E13: terminating size estimation with a leader (Theorem 3.13)",
+			Columns: []string{"n", "term time mean", "time/log² n", "terminated before convergence", "err max at termination"},
+		}
+		for _, n := range ns {
+			nEarly := 0
+			for _, e := range res.Values(id, n, "early") {
+				if e == 1 {
+					nEarly++
 				}
 			}
-			errs[tr] = maxErr
-			return at
-		})
-		nEarly := 0
-		for _, e := range early {
-			if e {
-				nEarly++
-			}
+			ts := stats.Summarize(res.Values(id, n, "time"))
+			es := stats.Summarize(res.Values(id, n, "err"))
+			logN := math.Log2(float64(n))
+			t.AddRow(stats.I(n), stats.F(ts.Mean), stats.F(ts.Mean/(logN*logN)),
+				stats.I(nEarly), stats.F(es.Max))
 		}
-		ts, es := stats.Summarize(times), stats.Summarize(errs)
-		logN := math.Log2(float64(n))
-		t.AddRow(stats.I(n), stats.F(ts.Mean), stats.F(ts.Mean/(logN*logN)),
-			stats.I(nEarly), stats.F(es.Max))
+		return t
 	}
-	return t
+	return Def{ID: id, Points: points, Render: render}
+}
+
+// LeaderTermination renders E13 via a local sweep (legacy form).
+func LeaderTermination(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	return LeaderTerminationDef(cfg, ns, trials).Table(seedBase)
 }

@@ -6,90 +6,127 @@ import (
 	"github.com/popsim/popsize/internal/core"
 	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/stats"
+	"github.com/popsim/popsize/internal/sweep"
 	"github.com/popsim/popsize/internal/synthcoin"
 	"github.com/popsim/popsize/internal/upperbound"
 )
 
-// UpperBound is E14: the Section 3.3 probability-1 upper-bound protocol —
-// after stabilization every agent's report is >= log2 n, and kex equals
+// UpperBoundDef is E14: the Section 3.3 probability-1 upper-bound protocol
+// — after stabilization every agent's report is >= log2 n, and kex equals
 // ⌊log2 n⌋ + 1 exactly.
-func UpperBound(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title:   "E14: probability-1 upper bound (§3.3): report >= log2 n always",
-		Columns: []string{"n", "log2 n", "kex (exact)", "report min", "report max", "below log n"},
-	}
+func UpperBoundDef(cfg core.Config, ns []int, trials int) Def {
+	const id = "E14"
 	p := upperbound.MustNew(cfg)
+	var points []sweep.Point
 	for _, n := range ns {
-		reports := make([][2]float64, trials) // min, max per trial
-		kexs := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := p.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*37))
-			ok, _ := s.RunUntil(upperbound.TournamentDone, 10, float64(500*n))
-			if !ok {
-				return math.NaN()
-			}
-			s.RunTime(60 * math.Log2(float64(n)))
-			lo, hi := math.Inf(1), math.Inf(-1)
-			for _, a := range s.Agents() {
-				v, _ := upperbound.Report(a)
-				lo, hi = math.Min(lo, v), math.Max(hi, v)
-			}
-			reports[tr] = [2]float64{lo, hi}
-			return float64(s.Agent(0).Kex)
+		points = append(points, sweep.Point{
+			Experiment: id, N: n, Trials: trials,
+			Run: func(tr int, seed uint64) sweep.Values {
+				s := p.NewSim(n, pop.WithSeed(seed))
+				ok, _ := s.RunUntil(upperbound.TournamentDone, 10, float64(500*n))
+				if !ok {
+					// Historical defaults for a timed-out trial: no kex,
+					// zero report extremes.
+					return sweep.Values{"kex": math.NaN(), "lo": 0, "hi": 0}
+				}
+				s.RunTime(60 * math.Log2(float64(n)))
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for _, a := range s.Agents() {
+					v, _ := upperbound.Report(a)
+					lo, hi = math.Min(lo, v), math.Max(hi, v)
+				}
+				return sweep.Values{"kex": float64(s.Agent(0).Kex), "lo": lo, "hi": hi}
+			},
 		})
-		logN := math.Log2(float64(n))
-		below := 0
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, r := range reports {
-			if r[0] < logN {
-				below++
-			}
-			lo, hi = math.Min(lo, r[0]), math.Max(hi, r[1])
-		}
-		ks := stats.Summarize(kexs)
-		t.AddRow(stats.I(n), stats.F(logN), stats.F(ks.Mean), stats.F(lo), stats.F(hi),
-			stats.I(below))
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title:   "E14: probability-1 upper bound (§3.3): report >= log2 n always",
+			Columns: []string{"n", "log2 n", "kex (exact)", "report min", "report max", "below log n"},
+		}
+		for _, n := range ns {
+			logN := math.Log2(float64(n))
+			los := res.Values(id, n, "lo")
+			his := res.Values(id, n, "hi")
+			below := 0
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for i := range los {
+				if los[i] < logN {
+					below++
+				}
+				lo, hi = math.Min(lo, los[i]), math.Max(hi, his[i])
+			}
+			ks := stats.Summarize(res.Values(id, n, "kex"))
+			t.AddRow(stats.I(n), stats.F(logN), stats.F(ks.Mean), stats.F(lo), stats.F(hi),
+				stats.I(below))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
 }
 
-// SyntheticCoin is E15: the Appendix B deterministic-transition variant —
-// error and convergence-time parity with the main protocol.
-func SyntheticCoin(mainCfg core.Config, scCfg synthcoin.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	t := stats.Table{
-		Title: "E15: synthetic-coin variant (App. B) vs main protocol",
-		Columns: []string{"n", "main err mean", "synth err mean", "main time mean",
-			"synth time mean"},
-	}
+// UpperBound renders E14 via a local sweep (legacy form).
+func UpperBound(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	return UpperBoundDef(cfg, ns, trials).Table(seedBase)
+}
+
+// SyntheticCoinDef is E15: the Appendix B deterministic-transition variant
+// — error and convergence-time parity with the main protocol. Main and
+// synthetic runs are separate points ("E15/main", "E15/synth") drawing
+// independent seeds.
+func SyntheticCoinDef(mainCfg core.Config, scCfg synthcoin.Config, ns []int, trials int) Def {
+	const id = "E15"
 	mp := core.MustNew(mainCfg)
 	sp := synthcoin.MustNew(scCfg)
+	var points []sweep.Point
 	for _, n := range ns {
-		logN := math.Log2(float64(n))
-		mainErrs := make([]float64, trials)
-		mainTimes := stats.ParallelTrials(trials, func(tr int) float64 {
-			r := mp.Run(n, core.RunOptions{Seed: seedBase + uint64(tr)*41})
-			mainErrs[tr] = r.MaxErr
-			return r.Time
-		})
-		scErrs := make([]float64, trials)
-		scTimes := stats.ParallelTrials(trials, func(tr int) float64 {
-			s := sp.NewSim(n, pop.WithSeed(seedBase+uint64(tr)*47))
-			budget := 40.0 * float64(scCfg.ClockFactor*scCfg.EpochFactor) * logN * logN
-			ok, at := s.RunUntil(sp.Converged, logN, budget)
-			maxErr := 0.0
-			for _, a := range s.Agents() {
-				if est, has := a.Estimate(); has {
-					maxErr = math.Max(maxErr, math.Abs(est-logN))
-				}
-			}
-			scErrs[tr] = maxErr
-			if !ok {
-				return math.NaN()
-			}
-			return at
-		})
-		me, se := stats.Summarize(mainErrs), stats.Summarize(scErrs)
-		mt, st := stats.Summarize(mainTimes), stats.Summarize(scTimes)
-		t.AddRow(stats.I(n), stats.F(me.Mean), stats.F(se.Mean), stats.F(mt.Mean), stats.F(st.Mean))
+		points = append(points,
+			sweep.Point{
+				Experiment: id + "/main", N: n, Trials: trials,
+				Run: func(tr int, seed uint64) sweep.Values {
+					r := mp.Run(n, core.RunOptions{Seed: seed})
+					return sweep.Values{"err": r.MaxErr, "time": r.Time}
+				},
+			},
+			sweep.Point{
+				Experiment: id + "/synth", N: n, Trials: trials,
+				Run: func(tr int, seed uint64) sweep.Values {
+					logN := math.Log2(float64(n))
+					s := sp.NewSim(n, pop.WithSeed(seed))
+					budget := 40.0 * float64(scCfg.ClockFactor*scCfg.EpochFactor) * logN * logN
+					ok, at := s.RunUntil(sp.Converged, logN, budget)
+					maxErr := 0.0
+					for _, a := range s.Agents() {
+						if est, has := a.Estimate(); has {
+							maxErr = math.Max(maxErr, math.Abs(est-logN))
+						}
+					}
+					if !ok {
+						at = math.NaN()
+					}
+					return sweep.Values{"err": maxErr, "time": at}
+				},
+			})
 	}
-	return t
+	render := func(res *sweep.Results) stats.Table {
+		t := stats.Table{
+			Title: "E15: synthetic-coin variant (App. B) vs main protocol",
+			Columns: []string{"n", "main err mean", "synth err mean", "main time mean",
+				"synth time mean"},
+		}
+		for _, n := range ns {
+			me := stats.Summarize(res.Values(id+"/main", n, "err"))
+			se := stats.Summarize(res.Values(id+"/synth", n, "err"))
+			mt := stats.Summarize(res.Values(id+"/main", n, "time"))
+			st := stats.Summarize(res.Values(id+"/synth", n, "time"))
+			t.AddRow(stats.I(n), stats.F(me.Mean), stats.F(se.Mean), stats.F(mt.Mean), stats.F(st.Mean))
+		}
+		return t
+	}
+	return Def{ID: id, Points: points, Render: render}
+}
+
+// SyntheticCoin renders E15 via a local sweep (legacy form).
+func SyntheticCoin(mainCfg core.Config, scCfg synthcoin.Config, ns []int, trials int, seedBase uint64) stats.Table {
+	return SyntheticCoinDef(mainCfg, scCfg, ns, trials).Table(seedBase)
 }

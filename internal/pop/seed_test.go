@@ -1,0 +1,91 @@
+package pop
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+)
+
+// TestTrialSeedNoCollisions: across a grid far denser than any real
+// experiment suite — many experiment labels × many trials × several base
+// seeds — every derived seed is distinct. The pre-TrialSeed scheme
+// (base + trial·prime with a per-site prime) fails this immediately:
+// trial 29 under prime 17 equals trial 17 under prime 29.
+func TestTrialSeedNoCollisions(t *testing.T) {
+	seen := make(map[uint64]string, 3*40*500)
+	for _, base := range []uint64{0, 1, 0xdeadbeef} {
+		for e := 0; e < 40; e++ {
+			exp := fmt.Sprintf("E%d", e)
+			for tr := 0; tr < 500; tr++ {
+				s := TrialSeed(base, exp, tr)
+				id := fmt.Sprintf("base=%d %s tr=%d", base, exp, tr)
+				if prev, ok := seen[s]; ok {
+					t.Fatalf("seed collision: %s and %s both derive %#x", prev, id, s)
+				}
+				seen[s] = id
+			}
+		}
+	}
+}
+
+// TestTrialSeedOldSchemeCollides documents the bug TrialSeed fixes: the
+// linear scheme collides across experiments by construction.
+func TestTrialSeedOldSchemeCollides(t *testing.T) {
+	const base = 1
+	old := func(prime uint64, tr int) uint64 { return base + uint64(tr)*prime }
+	if old(17, 29) != old(29, 17) {
+		t.Fatal("expected the linear scheme to collide (test is wrong)")
+	}
+	if TrialSeed(base, "E-accuracy", 29) == TrialSeed(base, "E-convergence", 17) {
+		t.Error("TrialSeed reproduced the cross-experiment collision")
+	}
+}
+
+// TestTrialSeedDeterministic: same inputs, same seed — and a golden value
+// so the derivation cannot drift silently between releases (drift would
+// invalidate every recorded sweep JSONL).
+func TestTrialSeedDeterministic(t *testing.T) {
+	if a, b := TrialSeed(7, "F2", 3), TrialSeed(7, "F2", 3); a != b {
+		t.Fatalf("TrialSeed not deterministic: %#x vs %#x", a, b)
+	}
+	if got := TrialSeed(0, "", 0); got != splitmix64(splitmix64(0x517cc1b727220a95)) {
+		t.Fatalf("TrialSeed(0, \"\", 0) = %#x diverged from its definition", got)
+	}
+}
+
+// TestTrialSeedAvalanche: flipping a single bit of the base or the trial
+// index flips close to half the output bits on average (the SplitMix64
+// finalizer's avalanche property). A mean Hamming distance far from 32
+// would mean nearby trials get correlated streams.
+func TestTrialSeedAvalanche(t *testing.T) {
+	checkMean := func(name string, mean float64) {
+		t.Helper()
+		if mean < 28 || mean > 36 {
+			t.Errorf("%s: mean Hamming distance %.2f, want ≈ 32", name, mean)
+		}
+	}
+	const samples = 2000
+	total := 0
+	for i := 0; i < samples; i++ {
+		base := uint64(i) * 0x9e3779b97f4a7c15
+		bit := uint64(1) << (i % 64)
+		total += bits.OnesCount64(TrialSeed(base, "E1", 5) ^ TrialSeed(base^bit, "E1", 5))
+	}
+	checkMean("base flip", float64(total)/samples)
+
+	total = 0
+	for i := 0; i < samples; i++ {
+		tr := i * 7
+		bit := 1 << (i % 16)
+		total += bits.OnesCount64(TrialSeed(1, "E1", tr) ^ TrialSeed(1, "E1", tr^bit))
+	}
+	checkMean("trial flip", float64(total)/samples)
+
+	// Adjacent trials — the most common access pattern — must also be
+	// uncorrelated, not just single-bit flips.
+	total = 0
+	for i := 0; i < samples; i++ {
+		total += bits.OnesCount64(TrialSeed(1, "E1", i) ^ TrialSeed(1, "E1", i+1))
+	}
+	checkMean("adjacent trials", float64(total)/samples)
+}

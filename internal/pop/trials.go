@@ -8,11 +8,11 @@ import (
 // RunTrials runs fn(trial) for trial = 0..trials-1 across up to workers
 // goroutines (GOMAXPROCS if workers <= 0) and returns the results in trial
 // order. Engines are not safe for concurrent use, so fn must construct its
-// own engine per trial — typically seeded as a function of the trial index
-// to keep the whole experiment deterministic:
+// own engine per trial, seeded through TrialSeed so distinct experiments
+// sharing a base seed never reuse a random stream:
 //
 //	times := pop.RunTrials(100, 0, func(tr int) float64 {
-//	    e := p.NewEngine(n, pop.WithSeed(base+uint64(tr)*1001))
+//	    e := p.NewEngine(n, pop.WithSeed(pop.TrialSeed(base, "convergence", tr)))
 //	    _, at := e.RunUntil(pred, 1, budget)
 //	    return at
 //	})

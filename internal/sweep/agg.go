@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/stats"
+)
+
+// Group identifies one aggregated cell of a sweep: every trial of one
+// experiment at one population size contributes its value of one field.
+type Group struct {
+	Experiment string
+	N          int
+	Field      string
+}
+
+// Agg summarizes one group: trial counts, the first two moments, and a
+// bootstrap percentile confidence interval for the mean.
+type Agg struct {
+	// Trials is the number of finite contributions; NaN values (trials
+	// that did not converge) are counted in Dropped instead.
+	Trials  int
+	Dropped int
+	Mean    float64
+	Std     float64
+	// CILo and CIHi bound the mean's 95% bootstrap percentile interval
+	// (resampled means, 2.5th–97.5th percentile).
+	CILo, CIHi float64
+}
+
+// BootstrapResamples is the default resample count for Aggregate's
+// confidence intervals.
+const BootstrapResamples = 1000
+
+// Aggregate reduces a record stream to per-(experiment, n, field) summary
+// statistics. The bootstrap is seeded deterministically per group from
+// seed, so the summary of a JSONL file is itself reproducible.
+func Aggregate(recs []Record, resamples int, seed uint64) map[Group]Agg {
+	if resamples <= 0 {
+		resamples = BootstrapResamples
+	}
+	samples := map[Group][]float64{}
+	for _, rec := range recs {
+		for field, v := range rec.Values {
+			g := Group{Experiment: rec.Experiment, N: rec.N, Field: field}
+			samples[g] = append(samples[g], v)
+		}
+	}
+	out := make(map[Group]Agg, len(samples))
+	for g, xs := range samples {
+		finite := xs[:0:0]
+		dropped := 0
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				dropped++
+				continue
+			}
+			finite = append(finite, x)
+		}
+		a := Agg{Trials: len(finite), Dropped: dropped}
+		if len(finite) > 0 {
+			s := stats.Summarize(finite)
+			a.Mean, a.Std = s.Mean, s.Std
+			a.CILo, a.CIHi = bootstrapCI(finite, resamples,
+				pop.TrialSeed(seed, "bootstrap/"+g.Experiment+"/"+g.Field, g.N))
+		} else {
+			a.Mean, a.Std = math.NaN(), math.NaN()
+			a.CILo, a.CIHi = math.NaN(), math.NaN()
+		}
+		out[g] = a
+	}
+	return out
+}
+
+// bootstrapCI returns the 95% percentile interval of the resampled mean.
+func bootstrapCI(xs []float64, resamples int, seed uint64) (lo, hi float64) {
+	r := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	means := make([]float64, resamples)
+	for i := range means {
+		sum := 0.0
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.IntN(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	return stats.Quantile(means, 0.025), stats.Quantile(means, 0.975)
+}
+
+// SummaryTable renders Aggregate's output as a table with one row per
+// (experiment, n, field), in canonical order — the machine-readable JSONL's
+// human-readable digest.
+func SummaryTable(recs []Record, resamples int, seed uint64) stats.Table {
+	aggs := Aggregate(recs, resamples, seed)
+	groups := make([]Group, 0, len(aggs))
+	for g := range aggs {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.Field < b.Field
+	})
+	t := stats.Table{
+		Title:   "Sweep summary",
+		Note:    "Per (experiment, n, field): mean ± stddev over converged trials with a 95% bootstrap CI; dropped = non-converged trials.",
+		Columns: []string{"experiment", "n", "field", "trials", "dropped", "mean", "stddev", "ci lo", "ci hi"},
+	}
+	for _, g := range groups {
+		a := aggs[g]
+		t.AddRow(g.Experiment, stats.I(g.N), g.Field, stats.I(a.Trials), stats.I(a.Dropped),
+			stats.F(a.Mean), stats.F(a.Std), stats.F(a.CILo), stats.F(a.CIHi))
+	}
+	return t
+}

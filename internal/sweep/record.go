@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Key identifies one trial of one experiment grid point: the resume unit.
+// A sweep checkpoint is keyed by (experiment, n, trial); restarting a sweep
+// skips every key already present in the output file.
+type Key struct {
+	Experiment string `json:"experiment"`
+	N          int    `json:"n"`
+	Trial      int    `json:"trial"`
+}
+
+// Less orders keys by (experiment, n, trial) — the canonical order used
+// when comparing a resumed sweep against an uninterrupted one.
+func (k Key) Less(o Key) bool {
+	if k.Experiment != o.Experiment {
+		return k.Experiment < o.Experiment
+	}
+	if k.N != o.N {
+		return k.N < o.N
+	}
+	return k.Trial < o.Trial
+}
+
+// Record is one completed trial: one line of the sweep's JSONL output.
+// Every field except WallMS is a pure function of the spec and the base
+// seed, so a key-sorted record stream is reproducible byte-for-byte across
+// interrupted and uninterrupted runs once wall time is masked (see
+// CanonicalJSONL).
+type Record struct {
+	Key
+	Seed    uint64  `json:"seed"`
+	Backend string  `json:"backend"`
+	Values  Values  `json:"values"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// Values carries a trial's named result fields. Non-finite values survive
+// the JSONL round trip (encoding/json rejects them as numbers): NaN marks
+// "trial did not converge" throughout the experiment suite, so it is
+// encoded as the string "NaN" and restored on load.
+type Values map[string]float64
+
+// MarshalJSON encodes values with sorted keys (for stable output) and
+// non-finite floats as strings.
+func (v Values) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		x := v[k]
+		switch {
+		case math.IsNaN(x):
+			b.WriteString(`"NaN"`)
+		case math.IsInf(x, 1):
+			b.WriteString(`"+Inf"`)
+		case math.IsInf(x, -1):
+			b.WriteString(`"-Inf"`)
+		default:
+			xb, err := json.Marshal(x)
+			if err != nil {
+				return nil, err
+			}
+			b.Write(xb)
+		}
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (v *Values) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(Values, len(raw))
+	for k, r := range raw {
+		var x float64
+		if err := json.Unmarshal(r, &x); err == nil {
+			out[k] = x
+			continue
+		}
+		var s string
+		if err := json.Unmarshal(r, &s); err != nil {
+			return fmt.Errorf("sweep: value %q is neither number nor string: %s", k, r)
+		}
+		switch s {
+		case "NaN":
+			out[k] = math.NaN()
+		case "+Inf":
+			out[k] = math.Inf(1)
+		case "-Inf":
+			out[k] = math.Inf(-1)
+		default:
+			return fmt.Errorf("sweep: value %q has unknown string form %q", k, s)
+		}
+	}
+	*v = out
+	return nil
+}
+
+// appendLine marshals r as one JSONL line (including the trailing newline).
+func (r Record) appendLine(b []byte) ([]byte, error) {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(append(b, line...), '\n'), nil
+}
+
+// ReadRecords parses a JSONL record stream, tolerating blank lines. A
+// truncated (interrupted mid-write) final line is reported as an error so
+// callers can decide whether to discard it.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var recs []Record
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return recs, fmt.Errorf("sweep: corrupt record %q: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// LoadCheckpoint reads an existing sweep JSONL file into a resume map; a
+// missing file is an empty checkpoint. A torn tail (the run was killed
+// mid-write) is dropped: its key stays un-recorded and the trial simply
+// reruns.
+func LoadCheckpoint(path string) (map[Key]Record, error) {
+	done, _, err := loadCheckpointTrim(path)
+	return done, err
+}
+
+// loadCheckpointTrim is LoadCheckpoint plus the byte length of the valid
+// newline-terminated record prefix: a resuming writer truncates the file to
+// that length before appending, so a torn tail cannot shadow its rerun.
+func loadCheckpointTrim(path string) (map[Key]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[Key]Record{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	done := map[Key]Record{}
+	var valid int64
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: treat as torn
+		}
+		line := bytes.TrimSpace(data[off : off+nl])
+		off += nl + 1
+		if len(line) != 0 {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				// Corrupt line: everything from here on reruns.
+				return done, valid, nil
+			}
+			done[rec.Key] = rec
+		}
+		valid = int64(off)
+	}
+	return done, valid, nil
+}
+
+// CanonicalJSONL renders records in canonical form: key-sorted, wall time
+// zeroed. Wall time is the single nondeterministic record field, so the
+// canonical form of a resumed sweep's merged file is byte-identical to the
+// canonical form of an uninterrupted run with the same spec and base seed
+// (the resume-determinism guarantee, asserted by TestResumeDeterminism).
+func CanonicalJSONL(recs []Record) ([]byte, error) {
+	sorted := make([]Record, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key.Less(sorted[j].Key) })
+	var b []byte
+	for _, r := range sorted {
+		r.WallMS = 0
+		var err error
+		if b, err = r.appendLine(b); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

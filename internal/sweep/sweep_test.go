@@ -1,0 +1,292 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// testSpec builds a small two-experiment grid whose trial function is a
+// pure function of (n, trial, seed) — deterministic, like every real
+// experiment trial, but cheap.
+func testSpec(baseSeed uint64) Spec {
+	run := func(n int) TrialFunc {
+		return func(tr int, seed uint64) Values {
+			r := rand.New(rand.NewPCG(seed, 17))
+			v := Values{
+				"x":    r.Float64() * float64(n),
+				"step": float64(tr),
+			}
+			if tr%5 == 4 { // a sprinkling of "did not converge" trials
+				v["x"] = math.NaN()
+			}
+			return v
+		}
+	}
+	var points []Point
+	for _, n := range []int{64, 256} {
+		points = append(points,
+			Point{Experiment: "EA", N: n, Trials: 7, Run: run(n)},
+			Point{Experiment: "EB", N: n, Trials: 3, Run: run(n)})
+	}
+	return Spec{Points: points, BaseSeed: baseSeed, Workers: 4}
+}
+
+func TestUnitsInterleaveAndSeedsDistinct(t *testing.T) {
+	spec := testSpec(1)
+	units := spec.Units()
+	if want := 2 * (7 + 3); len(units) != want {
+		t.Fatalf("units = %d, want %d", len(units), want)
+	}
+	// Round-robin: the first four units are trial 0 of each point.
+	for i := 0; i < 4; i++ {
+		if units[i].Trial != 0 {
+			t.Errorf("unit %d is trial %d, want 0 (round-robin)", i, units[i].Trial)
+		}
+	}
+	seen := map[uint64]Key{}
+	for _, u := range units {
+		if prev, ok := seen[u.Seed]; ok {
+			t.Errorf("units %+v and %+v share seed %#x", prev, u.Key, u.Seed)
+		}
+		seen[u.Seed] = u.Key
+		if u.Seed != pop.TrialSeed(1, fmt.Sprintf("%s#n=%d", u.Experiment, u.N), u.Trial) {
+			t.Errorf("unit %+v seed not derived via pop.TrialSeed", u.Key)
+		}
+	}
+}
+
+func TestRunCollectsAllRecords(t *testing.T) {
+	spec := testSpec(3)
+	var buf bytes.Buffer
+	var streamed atomic.Int64
+	var mu sync.Mutex
+	res, err := Run(spec, Options{Out: &syncWriter{w: &buf, mu: &mu}, OnRecord: func(Record) { streamed.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 20 || streamed.Load() != 20 {
+		t.Fatalf("records = %d, streamed = %d, want 20", res.Len(), streamed.Load())
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("JSONL lines = %d, want 20", len(recs))
+	}
+	// Round-trip fidelity, including the NaN encoding.
+	for _, rec := range recs {
+		got, ok := res.Get(rec.Experiment, rec.N, rec.Trial)
+		if !ok {
+			t.Fatalf("record %+v missing from results", rec.Key)
+		}
+		for k, v := range got.Values {
+			if r := rec.Values[k]; r != v && !(math.IsNaN(r) && math.IsNaN(v)) {
+				t.Errorf("%+v field %q: file %v, memory %v", rec.Key, k, r, v)
+			}
+		}
+	}
+	// Values() returns trial-ordered fields.
+	xs := res.Values("EA", 64, "step")
+	if len(xs) != 7 {
+		t.Fatalf("Values len = %d, want 7", len(xs))
+	}
+	for i, x := range xs {
+		if x != float64(i) {
+			t.Errorf("Values[%d] = %v, want %d (trial order)", i, x, i)
+		}
+	}
+}
+
+type syncWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestResumeDeterminism is the subsystem's acceptance test: a sweep killed
+// mid-run (Options.Limit) and resumed with the same spec and base seed
+// yields a merged JSONL whose canonical form (key-sorted, wall time masked
+// — the one nondeterministic field) is byte-identical to an uninterrupted
+// run's.
+func TestResumeDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	unbroken := filepath.Join(dir, "unbroken.jsonl")
+	broken := filepath.Join(dir, "broken.jsonl")
+
+	runFlags := func(path string, resume bool, limit int) {
+		t.Helper()
+		spec := testSpec(9)
+		opt := Options{Limit: limit}
+		if resume {
+			done, validLen, err := loadCheckpointTrim(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Done = done
+			f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if err := f.Truncate(validLen); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Seek(validLen, 0); err != nil {
+				t.Fatal(err)
+			}
+			opt.Out = f
+		} else {
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			opt.Out = f
+		}
+		if _, err := Run(spec, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	runFlags(unbroken, false, 0)
+	runFlags(broken, false, 7) // "killed" after 7 trials
+	// Simulate a torn final line from the kill.
+	data, err := os.ReadFile(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(broken, append(data, []byte(`{"experiment":"EA","n":64,`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runFlags(broken, true, 0) // resume to completion
+
+	canon := func(path string) []byte {
+		t.Helper()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		recs, err := ReadRecords(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CanonicalJSONL(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := canon(unbroken), canon(broken)
+	if !bytes.Equal(a, b) {
+		t.Errorf("resumed sweep diverged from uninterrupted run:\n--- uninterrupted ---\n%s--- resumed ---\n%s", a, b)
+	}
+	if len(bytes.Split(bytes.TrimSpace(a), []byte("\n"))) != 20 {
+		t.Errorf("canonical stream has wrong record count:\n%s", a)
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint: resuming under a different base seed
+// must fail loudly instead of mixing random streams.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	if _, err := Run(testSpec(1), Options{Out: &syncWriter{w: &buf, mu: &mu}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := map[Key]Record{}
+	for _, r := range recs {
+		done[r.Key] = r
+	}
+	if _, err := Run(testSpec(2), Options{Done: done}); err == nil {
+		t.Error("checkpoint from base seed 1 accepted by a base-seed-2 sweep")
+	}
+	// Same base seed but a different simulation backend must also be
+	// rejected: the records would describe a different engine's runs.
+	other := testSpec(1)
+	other.Backend = pop.Batched
+	if _, err := Run(other, Options{Done: done}); err == nil {
+		t.Error("auto-backend checkpoint accepted by a batch-backend sweep")
+	}
+}
+
+func TestLoadCheckpointTolerance(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.jsonl")
+
+	if done, err := LoadCheckpoint(filepath.Join(dir, "missing.jsonl")); err != nil || len(done) != 0 {
+		t.Errorf("missing file: done=%v err=%v, want empty, nil", done, err)
+	}
+
+	content := `{"experiment":"E1","n":10,"trial":0,"seed":5,"backend":"auto","values":{"x":1.5,"y":"NaN"},"wall_ms":1}` + "\n" +
+		"\n" +
+		`{"experiment":"E1","n":10,"trial":1,"seed":6,"backend":"auto","values":{"x":2},"wall_ms":1}` + "\n" +
+		`{"experiment":"E1","n":10,"tr` // torn tail
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, validLen, err := loadCheckpointTrim(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("done = %d records, want 2 (torn tail dropped)", len(done))
+	}
+	if !math.IsNaN(done[Key{"E1", 10, 0}].Values["y"]) {
+		t.Error("NaN value did not round-trip through the checkpoint")
+	}
+	if want := int64(len(content) - len(`{"experiment":"E1","n":10,"tr`)); validLen != want {
+		t.Errorf("validLen = %d, want %d", validLen, want)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	recs := []Record{
+		{Key: Key{"E1", 100, 0}, Values: Values{"err": 1}},
+		{Key: Key{"E1", 100, 1}, Values: Values{"err": 3}},
+		{Key: Key{"E1", 100, 2}, Values: Values{"err": math.NaN()}},
+		{Key: Key{"E2", 100, 0}, Values: Values{"t": 7}},
+	}
+	aggs := Aggregate(recs, 200, 1)
+	a := aggs[Group{"E1", 100, "err"}]
+	if a.Trials != 2 || a.Dropped != 1 {
+		t.Errorf("E1 agg trials=%d dropped=%d, want 2, 1", a.Trials, a.Dropped)
+	}
+	if a.Mean != 2 || a.Std != 1 {
+		t.Errorf("E1 agg mean=%v std=%v, want 2, 1", a.Mean, a.Std)
+	}
+	if a.CILo < 1 || a.CIHi > 3 || a.CILo > a.CIHi {
+		t.Errorf("bootstrap CI [%v, %v] outside sample range [1, 3]", a.CILo, a.CIHi)
+	}
+	// Deterministic given the same seed.
+	if b := Aggregate(recs, 200, 1)[Group{"E1", 100, "err"}]; b != a {
+		t.Errorf("Aggregate not deterministic: %+v vs %+v", a, b)
+	}
+	tbl := SummaryTable(recs, 200, 1)
+	if len(tbl.Rows) != 2 {
+		t.Errorf("summary rows = %d, want 2", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Markdown(), "E1") {
+		t.Error("summary markdown missing experiment id")
+	}
+}

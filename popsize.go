@@ -100,17 +100,30 @@ func (e *Estimator) Run(n int, o RunOptions) Result {
 
 // Estimate is the one-call convenience form: it runs the fast-preset
 // protocol on n agents with the given seed and returns the estimate of
-// log₂ n together with the true value.
+// log₂ n together with the true value. If the protocol does not fully
+// converge within the default budget, the best-effort estimate from the
+// final configuration is still returned alongside a non-nil error, so
+// callers can distinguish "didn't fully converge" (estimate usable with
+// caution) from "no data" (configuration error, zero estimate).
 func Estimate(n int, seed uint64) (estimate, truth float64, err error) {
+	return estimateWith(n, RunOptions{Seed: seed})
+}
+
+// estimateWith is Estimate with explicit run options (tests use a small
+// MaxTime to exercise the non-convergence path deterministically).
+func estimateWith(n int, o RunOptions) (estimate, truth float64, err error) {
 	e, err := New(FastConfig())
 	if err != nil {
 		return 0, 0, err
 	}
-	res := e.Run(n, RunOptions{Seed: seed})
+	res := e.Run(n, o)
+	truth = math.Log2(float64(n))
 	if !res.Converged {
-		return 0, 0, fmt.Errorf("popsize: protocol did not converge on n=%d within the default budget", n)
+		return res.Estimate, truth, fmt.Errorf(
+			"popsize: protocol did not converge on n=%d within the default budget (best-effort estimate %.3f)",
+			n, res.Estimate)
 	}
-	return res.Estimate, math.Log2(float64(n)), nil
+	return res.Estimate, truth, nil
 }
 
 // WeakEstimate runs the [2]-style baseline (one geometric random variable

@@ -85,6 +85,34 @@ func TestEstimateEndToEnd(t *testing.T) {
 	}
 }
 
+// TestEstimatePartialResult: on non-convergence Estimate must return the
+// best-effort estimate from the final configuration alongside the error —
+// not discard it — so callers can tell "didn't fully converge" from "no
+// data". The truncated run is deterministic (sequential backend at this
+// size), so the partial estimate is pinned against a direct Run with the
+// same options.
+func TestEstimatePartialResult(t *testing.T) {
+	const n, seed, maxTime = 500, 42, 900 // golden run converges at t≈1345, so 900 truncates
+	est, truth, err := estimateWith(n, RunOptions{Seed: seed, MaxTime: maxTime})
+	if err == nil {
+		t.Fatal("expected a non-convergence error from the truncated run")
+	}
+	if truth != math.Log2(n) {
+		t.Errorf("truth = %v, want log2(%d)", truth, n)
+	}
+	e, nerr := New(FastConfig())
+	if nerr != nil {
+		t.Fatal(nerr)
+	}
+	r := e.Run(n, RunOptions{Seed: seed, MaxTime: maxTime})
+	if r.Converged {
+		t.Fatal("reference run converged; shrink maxTime")
+	}
+	if est != r.Estimate {
+		t.Errorf("partial estimate = %v, want the run's best effort %v", est, r.Estimate)
+	}
+}
+
 func TestWeakEstimate(t *testing.T) {
 	k, err := WeakEstimate(4096, 2)
 	if err != nil {
