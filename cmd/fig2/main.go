@@ -7,7 +7,8 @@
 //
 // By default it uses the fast constant preset and n ∈ {100, 1000, 10000};
 // -full adds n = 100000 and -paper switches to the 95/5 constants of
-// Protocol 1 (≈30× more interactions; budget accordingly).
+// Protocol 1 (≈30× more interactions; budget accordingly). -backend
+// selects the simulation engine (auto|seq|batch|dense).
 package main
 
 import (

@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	popsim -protocol main -n 10000 -trials 5 -seed 1 [-paper]
+//	popsim -protocol main -n 10000 -trials 5 -seed 1 [-paper] [-backend auto|seq|batch|dense]
+//
+// The dense backend makes very large populations practical (its state is
+// the count vector, never an agent array): -protocol weak -n 1000000000
+// runs in ordinary memory.
 //
 // Protocols: main (Log-Size-Estimation), synthcoin (App. B deterministic),
 // upperbound (§3.3 probability-1), leaderterm (§3.4 terminating with a

@@ -8,9 +8,9 @@ import (
 
 // backend holds the simulation backend used by every generator in this
 // package (default pop.Auto). cmd/experiments and cmd/fig2 set it from
-// their -backend flag before running; generators that inherently need
-// per-agent data (e.g. InteractionConcentration) stay on the sequential
-// engine regardless.
+// their -backend flag (auto|seq|batch|dense) before running; generators
+// that inherently need per-agent data (e.g. InteractionConcentration)
+// stay on the sequential engine regardless.
 var backend atomic.Int32
 
 // SetBackend selects the simulation backend for subsequent generator runs.

@@ -177,19 +177,11 @@ type BatchSim[S comparable] struct {
 	stats BatchStats
 }
 
-// NewBatch constructs a batched multiset simulator; the arguments mirror
-// New. It panics if WithInteractionCounts was requested (the multiset
-// representation has no agent identities).
-func NewBatch[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rule[S], opts ...Option) *BatchSim[S] {
-	if n < 2 {
-		panic(fmt.Sprintf("pop: population size %d < 2", n))
-	}
+// newBatchShell builds a BatchSim with everything but its initial
+// configuration, shared by the constructors below.
+func newBatchShell[S comparable](rule Rule[S], o options) *BatchSim[S] {
 	if rule == nil {
 		panic("pop: nil rule")
-	}
-	var o options
-	for _, opt := range opts {
-		opt(&o)
 	}
 	if o.trackInteractions {
 		panic("pop: the batched backend cannot track per-agent interaction counts; use WithBackend(Sequential)")
@@ -201,7 +193,6 @@ func NewBatch[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rul
 		ruleRand: cs,
 		ruleRng:  rand.New(cs),
 		rule:     rule,
-		n:        n,
 		pos:      make(map[S]int32, 64),
 		qMax:     defaultBatchThreshold,
 	}
@@ -210,6 +201,22 @@ func NewBatch[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rul
 	}
 	b.cache = make([]cacheSlot, 1<<cacheBits)
 	b.cacheGen = 1
+	return b
+}
+
+// NewBatch constructs a batched multiset simulator; the arguments mirror
+// New. It panics if WithInteractionCounts was requested (the multiset
+// representation has no agent identities).
+func NewBatch[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rule[S], opts ...Option) *BatchSim[S] {
+	if n < 2 {
+		panic(fmt.Sprintf("pop: population size %d < 2", n))
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	b := newBatchShell[S](rule, o)
+	b.n = n
 	for i := 0; i < n; i++ {
 		b.addCount(b.intern(initial(i, b.rng)), 1)
 	}
@@ -223,6 +230,29 @@ func NewBatchFromConfig[S comparable](agents []S, rule Rule[S], opts ...Option) 
 	cp := make([]S, len(agents))
 	copy(cp, agents)
 	return NewBatch(len(cp), func(i int, _ *rand.Rand) S { return cp[i] }, rule, opts...)
+}
+
+// NewBatchFromCounts constructs a batched multiset simulator directly from
+// a configuration multiset given as parallel slices: states[i] is held by
+// counts[i] agents (zero-count entries are skipped, duplicate states
+// accumulate). Unlike NewBatchFromConfig it never materializes an agent
+// slice, so it works at population sizes where an agent array would not
+// fit in memory; DenseSim uses it to delegate mid-run.
+func NewBatchFromCounts[S comparable](states []S, counts []int64, rule Rule[S], opts ...Option) *BatchSim[S] {
+	n := int(validateCounts(states, counts))
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	b := newBatchShell[S](rule, o)
+	for i, c := range counts {
+		if c > 0 {
+			b.addCount(b.intern(states[i]), c)
+		}
+	}
+	b.n = n
+	b.compact()
+	return b
 }
 
 // intern returns the dense id of state s, assigning one if new.

@@ -6,7 +6,7 @@ import (
 	"strings"
 )
 
-// Engine is the interface shared by the simulation backends. Two
+// Engine is the interface shared by the simulation backends. Three
 // implementations exist:
 //
 //   - [Sim], the sequential reference engine: an explicit agent array,
@@ -22,12 +22,22 @@ import (
 //     distinct states rather than on n, which is exactly the regime of
 //     this paper's O(log⁴ n) state bound.
 //
-// Both engines simulate the same process — the uniformly random pairwise
-// scheduler of Section 2 — and the configuration trajectory of BatchSim is
-// distributed identically to Sim's (it is not an approximation; see the
-// package comment of batch.go). They do not produce bit-identical runs for
-// a given seed, because they consume the random stream differently; the
-// cross-backend equivalence tests compare them statistically.
+//   - [DenseSim], the count-vector engine: like BatchSim it stores only
+//     state counts, but it never materializes batch participants either —
+//     each batch is advanced through the matrix of ordered state-pair
+//     interaction counts (a multivariate hypergeometric draw), so each
+//     deterministic transition is applied once per state pair with its
+//     multiplicity. Per-batch work scales with the live-state count q
+//     instead of the ~√n batch length, which makes n = 10⁹ and beyond
+//     feasible for the paper's dense (concentrated) configurations.
+//
+// All engines simulate the same process — the uniformly random pairwise
+// scheduler of Section 2 — and the configuration trajectories of BatchSim
+// and DenseSim are distributed identically to Sim's (they are not
+// approximations; see the package comments of batch.go and dense.go). They
+// do not produce bit-identical runs for a given seed, because they consume
+// the random stream differently; the cross-backend equivalence tests
+// compare them statistically.
 //
 // Predicates passed to RunUntil, and the per-state predicates given to
 // Count/All/Any, must depend only on the multiset of states (not on agent
@@ -74,26 +84,38 @@ type Engine[S comparable] interface {
 var (
 	_ Engine[int] = (*Sim[int])(nil)
 	_ Engine[int] = (*BatchSim[int])(nil)
+	_ Engine[int] = (*DenseSim[int])(nil)
 )
 
 // Backend selects a simulation engine implementation.
 type Backend int
 
 const (
-	// Auto picks Batched for large populations and Sequential otherwise
-	// (or whenever a requested feature, such as per-agent interaction
-	// counts, needs the agent array).
+	// Auto picks Dense for very large populations, Batched for large ones
+	// and Sequential otherwise (or whenever a requested feature, such as
+	// per-agent interaction counts, needs the agent array).
 	Auto Backend = iota
 	// Sequential is the agent-array reference engine (Sim).
 	Sequential
 	// Batched is the multiset engine (BatchSim).
 	Batched
+	// Dense is the count-vector engine (DenseSim).
+	Dense
 )
 
 // autoBatchMinN is the population size above which Auto prefers the
 // batched engine; below it, batches are too short to amortize their
 // per-batch setup and the agent array is already cache-resident.
 const autoBatchMinN = 4096
+
+// autoDenseMinN is the population size above which Auto prefers the
+// count-vector engine. Its pair-matrix batches beat slot batching once
+// batches are long relative to the live-state count; live states are
+// unknowable at construction, so the cutoff is sized for the protocols in
+// this repository (O(log⁴ n) states, ~10² live at steady state) and
+// DenseSim's own runtime heuristic delegates back to BatchSim whenever a
+// configuration disperses.
+const autoDenseMinN = 1 << 23
 
 // String implements fmt.Stringer.
 func (b Backend) String() string {
@@ -104,6 +126,8 @@ func (b Backend) String() string {
 		return "seq"
 	case Batched:
 		return "batch"
+	case Dense:
+		return "dense"
 	default:
 		return fmt.Sprintf("Backend(%d)", int(b))
 	}
@@ -118,8 +142,10 @@ func ParseBackend(s string) (Backend, error) {
 		return Sequential, nil
 	case "batch", "batched":
 		return Batched, nil
+	case "dense":
+		return Dense, nil
 	default:
-		return Auto, fmt.Errorf("pop: unknown backend %q (want auto, seq or batch)", s)
+		return Auto, fmt.Errorf("pop: unknown backend %q (want auto, seq, batch or dense)", s)
 	}
 }
 
@@ -133,16 +159,30 @@ func NewEngine[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Ru
 	for _, opt := range opts {
 		opt(&o)
 	}
-	switch o.backend {
-	case Sequential:
-		return New(n, initial, rule, opts...)
+	switch resolveBackend(o, int64(n)) {
 	case Batched:
 		return NewBatch(n, initial, rule, opts...)
+	case Dense:
+		return NewDense(n, initial, rule, opts...)
 	default:
-		if n >= autoBatchMinN && !o.trackInteractions {
-			return NewBatch(n, initial, rule, opts...)
-		}
 		return New(n, initial, rule, opts...)
+	}
+}
+
+// resolveBackend applies the Auto heuristic: sequential while the agent
+// array is cache-resident (or per-agent instrumentation is requested),
+// batched for large populations, dense for very large ones.
+func resolveBackend(o options, total int64) Backend {
+	if o.backend != Auto {
+		return o.backend
+	}
+	switch {
+	case o.trackInteractions || total < autoBatchMinN:
+		return Sequential
+	case total < autoDenseMinN:
+		return Batched
+	default:
+		return Dense
 	}
 }
 
@@ -152,6 +192,63 @@ func NewEngineFromConfig[S comparable](agents []S, rule Rule[S], opts ...Option)
 	cp := make([]S, len(agents))
 	copy(cp, agents)
 	return NewEngine(len(cp), func(i int, _ *rand.Rand) S { return cp[i] }, rule, opts...)
+}
+
+// NewEngineFromCounts is NewEngine for an initial configuration given as a
+// state-count multiset (states[i] held by counts[i] agents; zero-count
+// entries are skipped, duplicate states accumulate). The multiset
+// backends never materialize the population, so this is the only engine
+// constructor usable at sizes where an n-element agent array would not
+// fit in memory; the sequential backend expands the multiset into its
+// agent array and remains bounded by it.
+func NewEngineFromCounts[S comparable](states []S, counts []int64, rule Rule[S], opts ...Option) Engine[S] {
+	total := validateCounts(states, counts)
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch resolveBackend(o, total) {
+	case Batched:
+		return NewBatchFromCounts(states, counts, rule, opts...)
+	case Dense:
+		return NewDenseFromCounts(states, counts, rule, opts...)
+	default:
+		// Expand through New's initializer, which visits agents in index
+		// order, so the array is built exactly once (NewFromConfig would
+		// defensively copy a pre-built slice, doubling peak memory).
+		i, c := 0, int64(0)
+		return New(int(total), func(int, *rand.Rand) S {
+			for c == counts[i] {
+				i++
+				c = 0
+			}
+			c++
+			return states[i]
+		}, rule, opts...)
+	}
+}
+
+// validateCounts checks a state-count multiset's shape (parallel slices,
+// no negative counts, population of at least 2 that fits an int) and
+// returns its total, shared by the multiset engine constructors.
+func validateCounts[S comparable](states []S, counts []int64) int64 {
+	if len(states) != len(counts) {
+		panic(fmt.Sprintf("pop: %d states with %d counts", len(states), len(counts)))
+	}
+	var total int64
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("pop: negative count %d for state %v", c, states[i]))
+		}
+		total += c
+	}
+	if total < 2 {
+		panic(fmt.Sprintf("pop: population size %d < 2", total))
+	}
+	if int64(int(total)) != total {
+		panic("pop: population size overflows int")
+	}
+	return total
 }
 
 // runUntil is the single RunUntil implementation shared by both engines,

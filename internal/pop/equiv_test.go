@@ -1,12 +1,13 @@
 // Cross-backend statistical equivalence suite: the batched multiset
-// engine must be distributionally indistinguishable from the sequential
-// reference engine on the repository's protocols. Backends consume
-// randomness differently, so trajectories cannot be compared run-by-run;
-// instead each protocol/size runs many seeded trials per backend and the
-// suite compares the resulting metric distributions with a Welch-style
-// tolerance (5 standard errors plus a small absolute slack — loose enough
-// for fixed seeds to pass deterministically, tight enough to catch any
-// systematic bias in the batching machinery).
+// engine and the count-vector dense engine must be distributionally
+// indistinguishable from the sequential reference engine on the
+// repository's protocols. Backends consume randomness differently, so
+// trajectories cannot be compared run-by-run; instead each protocol/size
+// runs many seeded trials per backend and the suite compares the
+// resulting metric distributions with a Welch-style tolerance (5 standard
+// errors plus a small absolute slack — loose enough for fixed seeds to
+// pass deterministically, tight enough to catch any systematic bias in
+// the batching or pair-matrix machinery).
 package pop_test
 
 import (
@@ -21,14 +22,26 @@ import (
 	"github.com/popsim/popsize/internal/stats"
 )
 
+// equivBackends are the engines under comparison: the sequential engine
+// is the reference, every other backend's metric distribution must match
+// it. Seed offsets keep the backends' trial streams disjoint.
+var equivBackends = []struct {
+	backend pop.Backend
+	seedOff uint64
+}{
+	{pop.Sequential, 1},
+	{pop.Batched, 2},
+	{pop.Dense, 3},
+}
+
 // meansAgree applies the Welch-style check to two samples.
-func meansAgree(t *testing.T, what string, a, b []float64, absSlack float64) {
+func meansAgree(t *testing.T, what string, ref, got []float64, absSlack float64) {
 	t.Helper()
-	sa, sb := stats.Summarize(a), stats.Summarize(b)
+	sa, sb := stats.Summarize(ref), stats.Summarize(got)
 	se := math.Sqrt(sa.Std*sa.Std/float64(sa.N) + sb.Std*sb.Std/float64(sb.N))
 	tol := 5*se + absSlack
 	if d := math.Abs(sa.Mean - sb.Mean); d > tol {
-		t.Errorf("%s: backend means differ: seq %.4f vs batch %.4f (|Δ|=%.4f > tol %.4f)",
+		t.Errorf("%s: backend means differ: seq %.4f vs %.4f (|Δ|=%.4f > tol %.4f)",
 			what, sa.Mean, sb.Mean, d, tol)
 	}
 }
@@ -40,9 +53,9 @@ func equivConfig() core.Config {
 }
 
 // TestEquivalenceCoreProtocol: the headline Log-Size-Estimation protocol.
-// Convergence time and estimate distributions must agree across backends
-// at every size, and every batch-backend trial must conserve agents and
-// meet the error bound.
+// Convergence time and estimate distributions must agree across all three
+// backends at every size, and every multiset-backend trial must conserve
+// agents and meet the error bound.
 func TestEquivalenceCoreProtocol(t *testing.T) {
 	if testing.Short() {
 		t.Skip("equivalence suite is not short")
@@ -70,16 +83,19 @@ func TestEquivalenceCoreProtocol(t *testing.T) {
 			})
 			return times, ests
 		}
-		seqT, seqE := run(pop.Sequential, 1)
-		batT, batE := run(pop.Batched, 2)
+		seqT, seqE := run(equivBackends[0].backend, equivBackends[0].seedOff)
 		logN := math.Log2(float64(n))
-		meansAgree(t, "core convergence time", seqT, batT, 0.05*stats.Summarize(seqT).Mean)
-		meansAgree(t, "core estimate", seqE, batE, 0.5)
-		for _, es := range [][]float64{seqE, batE} {
-			m := stats.Summarize(es).Mean
-			if math.Abs(m-logN) > 6 {
-				t.Errorf("n=%d: mean estimate %.2f far from log2 n = %.2f", n, m, logN)
+		for _, eb := range equivBackends[1:] {
+			bT, bE := run(eb.backend, eb.seedOff)
+			meansAgree(t, "core convergence time vs "+eb.backend.String(),
+				seqT, bT, 0.05*stats.Summarize(seqT).Mean)
+			meansAgree(t, "core estimate vs "+eb.backend.String(), seqE, bE, 0.5)
+			if m := stats.Summarize(bE).Mean; math.Abs(m-logN) > 6 {
+				t.Errorf("n=%d %v: mean estimate %.2f far from log2 n = %.2f", n, eb.backend, m, logN)
 			}
+		}
+		if m := stats.Summarize(seqE).Mean; math.Abs(m-logN) > 6 {
+			t.Errorf("n=%d seq: mean estimate %.2f far from log2 n = %.2f", n, m, logN)
 		}
 	}
 }
@@ -100,16 +116,19 @@ func TestEquivalenceEpidemic(t *testing.T) {
 				return at
 			})
 		}
-		seq := run(pop.Sequential, 11)
-		bat := run(pop.Batched, 12)
-		meansAgree(t, "epidemic completion time", seq, bat, 0.5)
+		seq := run(equivBackends[0].backend, equivBackends[0].seedOff+10)
+		for _, eb := range equivBackends[1:] {
+			got := run(eb.backend, eb.seedOff+10)
+			meansAgree(t, "epidemic completion time vs "+eb.backend.String(), seq, got, 0.5)
+		}
 	}
 }
 
 // TestEquivalenceExactCount: the leader-driven exact counting baseline —
 // a protocol whose leader walks through Θ(n log n) short-lived states,
-// exercising interning-table compaction. The count must be exact on both
-// backends and termination-time distributions must agree.
+// exercising interning-table compaction (and, on the dense engine, the
+// delegation heuristic). The count must be exact on every backend and
+// termination-time distributions must agree.
 func TestEquivalenceExactCount(t *testing.T) {
 	if testing.Short() {
 		t.Skip("equivalence suite is not short")
@@ -131,28 +150,33 @@ func TestEquivalenceExactCount(t *testing.T) {
 				return at
 			})
 		}
-		seq := run(pop.Sequential, 21)
-		bat := run(pop.Batched, 22)
-		meansAgree(t, "exact-count termination time", seq, bat, 0.1*stats.Summarize(seq).Mean)
+		seq := run(equivBackends[0].backend, equivBackends[0].seedOff+20)
+		for _, eb := range equivBackends[1:] {
+			got := run(eb.backend, eb.seedOff+20)
+			meansAgree(t, "exact-count termination time vs "+eb.backend.String(),
+				seq, got, 0.1*stats.Summarize(seq).Mean)
+		}
 	}
 }
 
-// TestBatchConservationThroughCoreRun asserts exact agent-count
-// conservation at every checkpoint of a batched core-protocol run (the
-// engine additionally self-checks after every batch and panics on
+// TestMultisetConservationThroughCoreRun asserts exact agent-count
+// conservation at every checkpoint of a batched and a dense core-protocol
+// run (the engines additionally self-check after every batch and panic on
 // violation).
-func TestBatchConservationThroughCoreRun(t *testing.T) {
+func TestMultisetConservationThroughCoreRun(t *testing.T) {
 	p := core.MustNew(equivConfig())
 	const n = 5000
-	e := p.NewEngine(n, pop.WithSeed(33), pop.WithBackend(pop.Batched))
-	for i := 0; i < 20; i++ {
-		e.RunTime(5)
-		total := 0
-		for _, c := range e.Counts() {
-			total += c
-		}
-		if total != n {
-			t.Fatalf("checkpoint %d: %d agents, want %d", i, total, n)
+	for _, backend := range []pop.Backend{pop.Batched, pop.Dense} {
+		e := p.NewEngine(n, pop.WithSeed(33), pop.WithBackend(backend))
+		for i := 0; i < 20; i++ {
+			e.RunTime(5)
+			total := 0
+			for _, c := range e.Counts() {
+				total += c
+			}
+			if total != n {
+				t.Fatalf("%v checkpoint %d: %d agents, want %d", backend, i, total, n)
+			}
 		}
 	}
 }
@@ -166,5 +190,16 @@ func TestBatchSelfDeterminismCoreProtocol(t *testing.T) {
 	r2 := p.Run(1500, core.RunOptions{Seed: 77, Backend: pop.Batched})
 	if !reflect.DeepEqual(r1, r2) {
 		t.Errorf("batched runs with the same seed differ:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// TestDenseSelfDeterminismCoreProtocol: likewise for the count-vector
+// engine, whose runs at this size cross the delegation threshold and back.
+func TestDenseSelfDeterminismCoreProtocol(t *testing.T) {
+	p := core.MustNew(equivConfig())
+	r1 := p.Run(1500, core.RunOptions{Seed: 77, Backend: pop.Dense})
+	r2 := p.Run(1500, core.RunOptions{Seed: 77, Backend: pop.Dense})
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("dense runs with the same seed differ:\n%+v\n%+v", r1, r2)
 	}
 }

@@ -44,8 +44,10 @@ func hypergeometric(r *rand.Rand, N, K, m int64) int64 {
 	if mean := float64(K) * float64(m) / float64(N); mean <= 16 {
 		// Light state: walk up from zero. p(0) via exp/log1p; then the
 		// ratio recurrence. Expected steps ≈ mean.
+		// p(0) by direct product while the factor count stays below the
+		// cost of the lnChoose route (6 log-gammas plus an exp).
 		var p float64
-		if K <= 24 {
+		if K <= 64 {
 			p = 1
 			for i := int64(0); i < K; i++ {
 				p *= float64(N-m-i) / float64(N-i)
@@ -70,6 +72,46 @@ func hypergeometric(r *rand.Rand, N, K, m int64) int64 {
 		return x
 	}
 	return hypergeometricModeWalk(r, N, K, m)
+}
+
+// multivariateHypergeometric draws the per-class composition of a uniform
+// without-replacement sample of size m from a population whose class i
+// has counts[i] members (Σ counts = total): dst[i] (same length as
+// counts) receives the number of sampled class-i members. The draw
+// factorizes into a chain of univariate hypergeometrics — class i's
+// allocation is hypergeometric in the population and sample remaining
+// after classes < i — which is exact for any class order. DenseSim
+// advances whole interaction batches on draws of this form: once for the
+// batch's receiver states, once for its sender states, and once per
+// receiver state to realize the uniformly random pairing as a matrix of
+// ordered state-pair counts (it inlines the chain against its live-state
+// bookkeeping; see sampleParticipants and pairAndApply in dense.go).
+func multivariateHypergeometric(r *rand.Rand, counts []int64, total, m int64, dst []int64) {
+	if len(dst) != len(counts) {
+		panic("pop: multivariate hypergeometric dst/counts length mismatch")
+	}
+	if m < 0 || m > total {
+		panic("pop: invalid multivariate hypergeometric sample size")
+	}
+	remPop := total
+	for i, c := range counts {
+		if c == 0 || m == 0 {
+			dst[i] = 0
+			continue
+		}
+		var k int64
+		if remPop == m {
+			k = c // forced: every remaining member is sampled
+		} else {
+			k = hypergeometric(r, remPop, c, m)
+		}
+		remPop -= c
+		m -= k
+		dst[i] = k
+	}
+	if m != 0 {
+		panic("pop: multivariate hypergeometric under-filled (Σcounts < total?)")
+	}
 }
 
 // hypergeometricModeWalk is inverse-transform sampling anchored at the

@@ -121,3 +121,89 @@ func TestLnGammaStirling(t *testing.T) {
 		}
 	}
 }
+
+// TestMultivariateHypergeometricInvariants: the chained draw always
+// allocates exactly m items, never exceeds a class's count, and skips
+// empty classes, across parameter shapes covering forced draws and both
+// univariate sampler paths.
+func TestMultivariateHypergeometricInvariants(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	cases := []struct {
+		counts []int64
+		m      int64
+	}{
+		{[]int64{5, 0, 3, 2}, 4},
+		{[]int64{5, 0, 3, 2}, 10}, // m == total: forced everywhere
+		{[]int64{1000000, 3, 1, 500000}, 4096},
+		{[]int64{7}, 7},
+		{[]int64{2, 2, 2, 2, 2, 2}, 11},
+	}
+	for _, c := range cases {
+		var total int64
+		for _, v := range c.counts {
+			total += v
+		}
+		dst := make([]int64, len(c.counts))
+		for trial := 0; trial < 200; trial++ {
+			multivariateHypergeometric(r, c.counts, total, c.m, dst)
+			var sum int64
+			for i, k := range dst {
+				if k < 0 || k > c.counts[i] {
+					t.Fatalf("counts=%v m=%d: class %d drew %d of %d", c.counts, c.m, i, k, c.counts[i])
+				}
+				sum += k
+			}
+			if sum != c.m {
+				t.Fatalf("counts=%v m=%d: allocated %d", c.counts, c.m, sum)
+			}
+		}
+	}
+}
+
+// TestMultivariateHypergeometricMoments checks the marginal means against
+// E[X_i] = m·c_i/N — the chain must not bias classes by their position.
+func TestMultivariateHypergeometricMoments(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	counts := []int64{60, 25, 10, 5}
+	const total, m, trials = int64(100), int64(20), 20000
+	dst := make([]int64, len(counts))
+	sums := make([]float64, len(counts))
+	for trial := 0; trial < trials; trial++ {
+		multivariateHypergeometric(r, counts, total, m, dst)
+		for i, k := range dst {
+			sums[i] += float64(k)
+		}
+	}
+	for i, c := range counts {
+		mean := sums[i] / trials
+		want := float64(m) * float64(c) / float64(total)
+		// Hypergeometric variance bound /trials gives SE ≈ 0.01–0.03 here;
+		// 5 SE with slack.
+		se := math.Sqrt(want * float64(total-c) / float64(total) / trials)
+		if math.Abs(mean-want) > 5*se+0.05 {
+			t.Errorf("class %d: mean %.3f, want %.3f ± %.3f", i, mean, want, 5*se+0.05)
+		}
+	}
+}
+
+// TestMultivariateHypergeometricPanics pins the parameter validation.
+func TestMultivariateHypergeometricPanics(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 10))
+	for name, fn := range map[string]func(){
+		"length mismatch": func() {
+			multivariateHypergeometric(r, []int64{1, 2}, 3, 1, make([]int64, 1))
+		},
+		"m > total": func() {
+			multivariateHypergeometric(r, []int64{1, 2}, 3, 4, make([]int64, 2))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -6,6 +6,7 @@ type options struct {
 	trackInteractions bool
 	backend           Backend
 	batchThreshold    int
+	denseThreshold    int
 }
 
 // Option configures a simulation engine at construction time.
@@ -50,7 +51,19 @@ func WithBackend(b Backend) Option {
 // exceeds q, BatchSim materializes an agent array and steps sequentially
 // until the configuration re-concentrates. The default (8192) suits
 // protocols with polylog(n) live states; tests use small values to
-// exercise the fallback path.
+// exercise the fallback path. DenseSim forwards the value to the BatchSim
+// it delegates to.
 func WithBatchThreshold(q int) Option {
 	return func(o *options) { o.batchThreshold = q }
+}
+
+// WithDenseThreshold overrides the count-vector engine's live-state
+// delegation threshold: when the number of distinct states simultaneously
+// present exceeds q, DenseSim's pair-matrix batches stop paying relative
+// to slot batching and it delegates to an internal BatchSim until the
+// configuration re-concentrates below q/2. The default scales with the
+// expected collision-free batch length (~√n/6); tests use small values to
+// exercise the delegation path.
+func WithDenseThreshold(q int) Option {
+	return func(o *options) { o.denseThreshold = q }
 }

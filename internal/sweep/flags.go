@@ -27,7 +27,7 @@ type Flags struct {
 // stream unless the user asks for it.
 func Register(fs *flag.FlagSet, defaultJSONL string) *Flags {
 	f := &Flags{}
-	fs.StringVar(&f.Backend, "backend", "auto", "simulation backend: auto|seq|batch")
+	fs.StringVar(&f.Backend, "backend", "auto", "simulation backend: auto|seq|batch|dense")
 	fs.IntVar(&f.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	fs.Uint64Var(&f.Seed, "seed", 1, "base random seed (per-trial seeds derive from it)")
 	fs.StringVar(&f.JSONL, "jsonl", defaultJSONL, "sweep record stream / checkpoint file (empty = none)")

@@ -23,7 +23,7 @@
 //
 // # Simulation backends
 //
-// Two interchangeable engines implement the paper's uniformly random
+// Three interchangeable engines implement the paper's uniformly random
 // pairwise scheduler, unified behind the internal pop.Engine interface
 // and selected per run via RunOptions.Backend:
 //
@@ -46,9 +46,19 @@
 //     while a configuration holds more distinct states than its
 //     threshold.
 //
+//   - The dense engine (pop.Dense) also keeps only state counts, but
+//     advances each batch through the matrix of ordered state-pair
+//     interaction counts (multivariate hypergeometric draws), applying
+//     every deterministic transition once per state pair with its
+//     multiplicity. Per-batch work depends on the live-state count, not
+//     the batch length, and no agent-sized allocation exists anywhere —
+//     populations of 10⁹–10¹⁰ agents are routine. It delegates to the
+//     batched engine while a configuration holds more live states than
+//     its √n-scaled threshold.
+//
 // The default (pop.Auto) picks the batched engine for populations of at
-// least 4096 agents. Multi-trial experiments parallelize across
-// goroutines with pop.RunTrials.
+// least 4096 agents and the dense engine beyond ~8 million. Multi-trial
+// experiments parallelize across goroutines with pop.RunTrials.
 package popsize
 
 import (
