@@ -1,5 +1,5 @@
-// Benchmarks: one per experiment row of DESIGN.md's index (F2, E1–E17,
-// A1–A3), each exercising the same generator the experiment harness uses,
+// Benchmarks: one per experiment row of DESIGN.md's index (F2, E1–E18,
+// A1–A3, E-churn), each exercising the same generator the experiment harness uses,
 // at benchmark-friendly scale. Domain metrics (parallel time units,
 // estimate error, states) are attached via b.ReportMetric, so
 // `go test -bench=. -benchmem` regenerates a miniature of every table and
@@ -16,6 +16,7 @@ import (
 
 	"github.com/popsim/popsize/internal/approxsize"
 	"github.com/popsim/popsize/internal/arith"
+	"github.com/popsim/popsize/internal/churn"
 	"github.com/popsim/popsize/internal/clock"
 	"github.com/popsim/popsize/internal/compose"
 	"github.com/popsim/popsize/internal/core"
@@ -539,4 +540,23 @@ func BenchmarkArithmetic(b *testing.B) {
 		t += at
 	}
 	b.ReportMetric(t/float64(b.N)/math.Log(n), "time/ln_n")
+}
+
+// BenchmarkChurnTracking is E-churn at benchmark scale: the detect-and-
+// restart dynamic estimator tracking a population under lockstep
+// membership turnover, reporting the settled tracking error.
+func BenchmarkChurnTracking(b *testing.B) {
+	const n = 400
+	cfg := core.Config{ClockFactor: 8, EpochFactor: 1, GeomBonus: 2}
+	until := 1.5 * core.MustNew(cfg).DefaultMaxTime(n) / 3
+	var errSum float64
+	for i := 0; i < b.N; i++ {
+		sched := churn.Step(n, 1e-4, math.Log2(n), until)
+		res := churn.Track(churn.TrackerConfig{Protocol: cfg}, n, sched, uint64(i)+1, until)
+		mean, _, _ := res.ErrStats(until / 2)
+		if !math.IsNaN(mean) {
+			errSum += mean
+		}
+	}
+	b.ReportMetric(errSum/float64(b.N), "tracking_err")
 }

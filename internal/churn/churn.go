@@ -1,0 +1,252 @@
+// Package churn adds dynamic populations — join/leave events at parallel-
+// time marks — on top of the fixed-n simulation engines, and a detect-and-
+// restart size tracker in the spirit of Kaaser & Lohmann, "Dynamic Size
+// Counting in the Population Protocol Model" (arXiv:2405.05137).
+//
+// A [Schedule] is a declarative, time-sorted list of [Event]s; generators
+// cover the standard workloads (lockstep step churn, Poisson-arrival
+// turnover, a doubling/halving, an adversarial burst). [Apply] drives any
+// pop.Engine through a schedule: joins enter in a caller-chosen state,
+// leaves are removed uniformly at random by the engine (a multivariate
+// hypergeometric sample of the configuration on the multiset backends),
+// and parallel time stays meaningful throughout because the engines
+// account it per population-size segment.
+//
+// [Track] layers the paper's Log-Size-Estimation protocol (internal/core)
+// on a churning population. The protocol itself already absorbs joins
+// gradually — joiners enter undecided and are partitioned, and a joiner
+// whose fresh geometric sample exceeds the standing logSize2 maximum
+// triggers the protocol's own restart — but it has no mechanism to
+// *shrink* its estimate or to re-count after heavy churn. The tracker
+// adds the detect-and-restart loop: it polls the configuration (the
+// simulation-level stand-in for the agents' continuous self-detection in
+// arXiv:2405.05137), and when the undecided fraction jumps (a join wave)
+// or the current run exceeds a refresh age (the shrink fallback) it
+// restarts the protocol from scratch on the current population, holding
+// the previously converged estimate as its output until a new one is
+// ready.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// timeEps absorbs float64 rounding when comparing parallel-time marks:
+// engines advance in 1/n quanta, so any epsilon well below the smallest
+// quantum of interest is safe.
+const timeEps = 1e-9
+
+// Event is one churn point: at parallel-time mark At, Join agents enter
+// (in the join state the driver was given) and Leave agents are removed
+// uniformly at random. Joins are applied before leaves, so an event may
+// turn over more agents than the pre-event population holds.
+type Event struct {
+	At    float64
+	Join  int
+	Leave int
+}
+
+// Schedule is a time-sorted list of churn events. Marks are relative to
+// the driving call's start time.
+type Schedule []Event
+
+// Validate checks that the schedule is time-sorted with nonnegative marks
+// and deltas.
+func (s Schedule) Validate() error {
+	prev := 0.0
+	for i, ev := range s {
+		if ev.At < 0 || math.IsNaN(ev.At) {
+			return fmt.Errorf("churn: event %d has invalid time %v", i, ev.At)
+		}
+		if ev.At < prev {
+			return fmt.Errorf("churn: event %d at t=%g precedes event %d at t=%g",
+				i, ev.At, i-1, prev)
+		}
+		if ev.Join < 0 || ev.Leave < 0 {
+			return fmt.Errorf("churn: event %d has negative deltas (join %d, leave %d)",
+				i, ev.Join, ev.Leave)
+		}
+		prev = ev.At
+	}
+	return nil
+}
+
+// Net returns the population size after the whole schedule has been
+// applied to a starting population of n0.
+func (s Schedule) Net(n0 int) int {
+	for _, ev := range s {
+		n0 += ev.Join - ev.Leave
+	}
+	return n0
+}
+
+// Turnover returns the total number of joins the schedule performs — with
+// Step/Poisson's join-one-leave-one events, the number of membership
+// replacements.
+func (s Schedule) Turnover() int {
+	t := 0
+	for _, ev := range s {
+		t += ev.Join
+	}
+	return t
+}
+
+// Step returns a constant-size lockstep-turnover schedule: every period
+// time units up to (exclusive) until, rate·period·n0 agents leave and the
+// same number join. Fractional per-event quotas are carried forward, so
+// the long-run turnover rate is rate·n0 agents per unit of parallel time
+// even when a single period's quota rounds to zero.
+func Step(n0 int, rate, period, until float64) Schedule {
+	if period <= 0 || rate < 0 {
+		panic(fmt.Sprintf("churn: Step needs period > 0 and rate >= 0 (got %g, %g)", period, rate))
+	}
+	var s Schedule
+	carry := 0.0
+	for at := period; at < until-timeEps; at += period {
+		carry += rate * period * float64(n0)
+		k := int(carry)
+		carry -= float64(k)
+		if k > 0 {
+			s = append(s, Event{At: at, Join: k, Leave: k})
+		}
+	}
+	return s
+}
+
+// Poisson returns a memoryless-turnover schedule: join-one-leave-one
+// events arrive as a Poisson process of intensity rate·n0 per unit of
+// parallel time (exponential inter-arrival gaps, derived
+// deterministically from seed) — the continuous-time analogue of Step's
+// lockstep churn.
+func Poisson(seed uint64, n0 int, rate, until float64) Schedule {
+	if rate < 0 {
+		panic(fmt.Sprintf("churn: Poisson needs rate >= 0 (got %g)", rate))
+	}
+	lambda := rate * float64(n0)
+	if lambda == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	var s Schedule
+	at := 0.0
+	for {
+		at += r.ExpFloat64() / lambda
+		if at >= until-timeEps {
+			return s
+		}
+		s = append(s, Event{At: at, Join: 1, Leave: 1})
+	}
+}
+
+// Doubling returns the single join event that doubles a population of n0
+// at time at.
+func Doubling(n0 int, at float64) Schedule {
+	return Schedule{{At: at, Join: n0}}
+}
+
+// Halving returns the single leave event that halves a population of n0
+// at time at.
+func Halving(n0 int, at float64) Schedule {
+	return Schedule{{At: at, Leave: n0 / 2}}
+}
+
+// Burst returns an adversarial burst: at time at, frac·n0 agents leave at
+// once, and at rejoinAt the same number join back — a step change in both
+// directions, the worst case for a tracker.
+func Burst(n0 int, at, frac, rejoinAt float64) Schedule {
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("churn: Burst needs 0 <= frac < 1 (got %g)", frac))
+	}
+	k := int(frac * float64(n0))
+	return Schedule{{At: at, Leave: k}, {At: rejoinAt, Join: k}}
+}
+
+// Merge combines schedules into one time-sorted schedule (events at equal
+// marks keep their relative order).
+func Merge(scheds ...Schedule) Schedule {
+	var out Schedule
+	for _, s := range scheds {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Apply drives e through sched on the engine's own clock: event marks are
+// relative to e.Time() at the call. Between events the engine advances
+// with RunTime; at each event, Join agents in state join enter and Leave
+// agents are removed uniformly at random. tick, when non-nil, is called
+// every tickEvery units of parallel time (relative to the call) with the
+// current relative time; tickEvery <= 0 disables ticks. Apply returns at
+// relative time until, with every event before until applied.
+func Apply[S comparable](e pop.Engine[S], sched Schedule, join S, until, tickEvery float64, tick func(now float64)) {
+	base := e.Time()
+	drive(sched, until, tickEvery,
+		func() float64 { return e.Time() - base },
+		func(dt float64) { e.RunTime(dt) },
+		e.Step,
+		func(ev Event) {
+			if ev.Join > 0 {
+				e.AddAgents(join, ev.Join)
+			}
+			if ev.Leave > 0 {
+				e.RemoveAgents(ev.Leave)
+			}
+		},
+		tick)
+}
+
+// drive is the single schedule loop behind Apply and Track: it advances
+// toward min(next event, next tick, horizon), forces one Step when a
+// requested advance rounds below one interaction (delta·n < 1) so the
+// loop always makes progress, fires due events (those at or past the
+// horizon do not fire), and calls tick at its cadence. The engine is
+// reached only through the callbacks, so Track can swap engines inside a
+// tick (a restart) without the loop noticing.
+func drive(sched Schedule, until, tickEvery float64,
+	now func() float64, run func(dt float64), step func(),
+	event func(Event), tick func(t float64)) {
+	if err := sched.Validate(); err != nil {
+		panic(err)
+	}
+	nextTick := math.Inf(1)
+	if tick != nil && tickEvery > 0 {
+		nextTick = tickEvery
+	}
+	i := 0
+	for t := now(); t < until-timeEps; t = now() {
+		next := until
+		if i < len(sched) && sched[i].At < next {
+			next = math.Max(sched[i].At, t)
+		}
+		if nextTick < next {
+			next = nextTick
+		}
+		if next > t {
+			run(next - t)
+			if now() <= t+timeEps {
+				step()
+			}
+			t = now()
+		}
+		for i < len(sched) && sched[i].At <= t+timeEps {
+			ev := sched[i]
+			i++
+			if ev.At >= until-timeEps {
+				continue
+			}
+			event(ev)
+		}
+		if t >= nextTick-timeEps {
+			tick(t)
+			for nextTick <= t+timeEps {
+				nextTick += tickEvery
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package churn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// trackConfig is a reduced-constant preset: the protocol's shape at a
+// fraction of FastConfig's simulation cost (mirrors the equivalence
+// suite's preset).
+func trackConfig() core.Config {
+	return core.Config{ClockFactor: 8, EpochFactor: 1, GeomBonus: 2}
+}
+
+// TestStepScheduleRates: the generator must hit the requested long-run
+// turnover even when a single period's quota rounds to zero, and keep the
+// population size constant.
+func TestStepScheduleRates(t *testing.T) {
+	cases := []struct {
+		n0           int
+		rate, period float64
+		until        float64
+		wantTurnover int
+	}{
+		{1000, 1e-3, 10, 1000, 990}, // 10 agents per event, 99 events
+		{1000, 1e-5, 10, 10000, 99}, // 0.1 agents per event: carry accumulates
+		{100, 0, 5, 1000, 0},        // zero rate: empty schedule
+		{500, 2e-4, 7.5, 5000, 499}, // awkward period: 0.75/event over 666 events
+	}
+	for _, c := range cases {
+		s := Step(c.n0, c.rate, c.period, c.until)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Step(%v): invalid schedule: %v", c, err)
+		}
+		if got := s.Turnover(); got != c.wantTurnover {
+			t.Errorf("Step(n0=%d rate=%g period=%g until=%g): turnover %d, want %d",
+				c.n0, c.rate, c.period, c.until, got, c.wantTurnover)
+		}
+		if got := s.Net(c.n0); got != c.n0 {
+			t.Errorf("Step: net population %d, want %d (size-preserving)", got, c.n0)
+		}
+		for _, ev := range s {
+			if ev.Join != ev.Leave {
+				t.Fatalf("Step event %+v not size-preserving", ev)
+			}
+		}
+	}
+}
+
+// TestPoissonSchedule: deterministic for a seed, event count close to the
+// process mean, strictly sorted times within the horizon.
+func TestPoissonSchedule(t *testing.T) {
+	const n0, rate, until = 500, 1e-3, 2000.0
+	a := Poisson(42, n0, rate, until)
+	b := Poisson(42, n0, rate, until)
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d vs %d events", len(a), len(b))
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invalid Poisson schedule: %v", err)
+	}
+	mean := rate * n0 * until // 1000 expected arrivals
+	if got := float64(len(a)); math.Abs(got-mean) > 5*math.Sqrt(mean) {
+		t.Errorf("Poisson arrivals %v, want ≈ %v ± %v", got, mean, 5*math.Sqrt(mean))
+	}
+	for _, ev := range a {
+		if ev.At >= until {
+			t.Fatalf("event at %g beyond horizon %g", ev.At, until)
+		}
+	}
+	if Poisson(1, n0, 0, until) != nil {
+		t.Error("zero-rate Poisson schedule not empty")
+	}
+}
+
+// TestShapedSchedules pins Doubling/Halving/Burst/Merge shapes.
+func TestShapedSchedules(t *testing.T) {
+	if got := Doubling(100, 5).Net(100); got != 200 {
+		t.Errorf("Doubling net = %d, want 200", got)
+	}
+	if got := Halving(100, 5).Net(100); got != 50 {
+		t.Errorf("Halving net = %d, want 50", got)
+	}
+	b := Burst(1000, 10, 0.4, 30)
+	if b.Net(1000) != 1000 || b[0].Leave != 400 || b[1].Join != 400 {
+		t.Errorf("Burst schedule wrong: %+v", b)
+	}
+	m := Merge(Doubling(10, 7), Halving(10, 3))
+	if len(m) != 2 || m[0].At != 3 || m[1].At != 7 {
+		t.Errorf("Merge did not sort: %+v", m)
+	}
+	bad := Schedule{{At: 5}, {At: 3}}
+	if bad.Validate() == nil {
+		t.Error("unsorted schedule validated")
+	}
+}
+
+// TestApplyDrivesEngine: events fire at their marks (population size
+// tracks the schedule), ticks arrive at the cadence, and the engine ends
+// at the requested horizon.
+func TestApplyDrivesEngine(t *testing.T) {
+	rule := func(a, b int, _ *rand.Rand) (int, int) { return a, b }
+	e := pop.NewEngineFromCounts([]int{0}, []int64{1000}, rule,
+		pop.WithSeed(3), pop.WithBackend(pop.Batched))
+	sched := Schedule{
+		{At: 5, Join: 500},
+		{At: 10, Leave: 700},
+		{At: 15, Join: 200, Leave: 100},
+	}
+	var ticks []float64
+	var sizes []int
+	Apply(e, sched, 1, 20, 2.5, func(now float64) {
+		ticks = append(ticks, now)
+		sizes = append(sizes, e.N())
+	})
+	if got := e.N(); got != sched.Net(1000) {
+		t.Errorf("final population %d, want %d", got, sched.Net(1000))
+	}
+	if got := e.Time(); math.Abs(got-20) > 0.01 {
+		t.Errorf("final time %g, want 20", got)
+	}
+	if len(ticks) != 8 {
+		t.Fatalf("got %d ticks (%v), want 8", len(ticks), ticks)
+	}
+	// The tick at t=7.5 sits between the join at 5 and the leave at 10.
+	if sizes[2] != 1500 {
+		t.Errorf("size at tick %g = %d, want 1500 (join applied, leave not)", ticks[2], sizes[2])
+	}
+	if sizes[4] != 800 {
+		t.Errorf("size at tick %g = %d, want 800", ticks[4], sizes[4])
+	}
+	// Joined agents must be present as state 1.
+	if got := e.Count(func(s int) bool { return s == 1 }); got == 0 {
+		t.Error("no joined-state agents present after Apply")
+	}
+}
+
+// TestTrackStatic: with no churn the tracker is just the protocol — it
+// converges once, holds a small-error estimate, and never restarts.
+func TestTrackStatic(t *testing.T) {
+	const n = 300
+	p := core.MustNew(trackConfig())
+	until := p.DefaultMaxTime(n)
+	res := Track(TrackerConfig{Protocol: trackConfig()}, n, nil, 11, until)
+	if res.Restarts != 0 {
+		t.Errorf("static population triggered %d restarts", res.Restarts)
+	}
+	if res.FinalN != n {
+		t.Errorf("FinalN = %d, want %d", res.FinalN, n)
+	}
+	if math.IsNaN(res.MeanAbsErr) {
+		t.Fatal("tracker never held an estimate on a static population")
+	}
+	if res.MaxAbsErr > 8 {
+		t.Errorf("static tracking error %.2f implausibly large", res.MaxAbsErr)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if math.IsNaN(last.Estimate) || math.Abs(last.Estimate-math.Log2(n)) > 8 {
+		t.Errorf("final estimate %v far from log2 %d = %.2f", last.Estimate, n, math.Log2(n))
+	}
+}
+
+// TestTrackDoublingDetectsAndSettles: a doubling must trigger the
+// undecided-fraction detector shortly after the event, and the tracker
+// must reconverge to an estimate near log2(2n).
+func TestTrackDoublingDetectsAndSettles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tracked doubling is not short")
+	}
+	const n = 300
+	p := core.MustNew(trackConfig())
+	t0 := p.DefaultMaxTime(n) // doubling lands after convergence w.h.p.
+	until := t0 + p.DefaultMaxTime(2*n)
+	res := Track(TrackerConfig{Protocol: trackConfig()}, n, Doubling(n, t0), 17, until)
+	if res.FinalN != 2*n {
+		t.Fatalf("FinalN = %d, want %d", res.FinalN, 2*n)
+	}
+	detect, settle := res.DetectionLatency(t0, 4)
+	if math.IsNaN(detect) {
+		t.Fatalf("doubling never detected (restarts=%d)", res.Restarts)
+	}
+	if detect > 8*math.Log2(2*n) {
+		t.Errorf("detection latency %.1f, want within the warmup+tick window", detect)
+	}
+	if math.IsNaN(settle) {
+		t.Errorf("tracker never settled within tolerance after the doubling (restarts=%d)", res.Restarts)
+	}
+}
+
+// TestTrackRefreshHandlesHalving: leaves produce no undecided agents, so
+// only the refresh fallback can shrink a stale estimate; with it enabled
+// the post-halving error must come back down.
+func TestTrackRefreshHandlesHalving(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tracked halving is not short")
+	}
+	const n = 400
+	p := core.MustNew(trackConfig())
+	t0 := p.DefaultMaxTime(n)
+	refresh := p.DefaultMaxTime(n) / 2
+	until := t0 + 2.5*p.DefaultMaxTime(n)
+	res := Track(TrackerConfig{Protocol: trackConfig(), RefreshEvery: refresh},
+		n, Halving(n, t0), 23, until)
+	if res.FinalN != n/2 {
+		t.Fatalf("FinalN = %d, want %d", res.FinalN, n/2)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("refresh never fired")
+	}
+	// The estimate after the last refresh-and-reconverge must track the
+	// halved population: compare the final sample against log2(n/2).
+	last := res.Samples[len(res.Samples)-1]
+	if math.IsNaN(last.Err) {
+		t.Fatal("no estimate at the end of the halved run")
+	}
+	if last.Err > 8 {
+		t.Errorf("post-halving error %.2f did not recover", last.Err)
+	}
+}
+
+// TestTrackDeterminism: a Track call is a pure function of its seed — the
+// resumability contract every sweep trial must meet.
+func TestTrackDeterminism(t *testing.T) {
+	const n = 200
+	sched := Merge(Step(n, 5e-4, 5, 600), Doubling(n, 300))
+	run := func() Result {
+		return Track(TrackerConfig{Protocol: trackConfig()}, n, sched, 31, 600)
+	}
+	a, b := run(), run()
+	if len(a.Samples) != len(b.Samples) || a.Restarts != b.Restarts || a.FinalN != b.FinalN {
+		t.Fatalf("tracked runs with the same seed diverged: %d/%d/%d vs %d/%d/%d",
+			len(a.Samples), a.Restarts, a.FinalN, len(b.Samples), b.Restarts, b.FinalN)
+	}
+	for i := range a.Samples {
+		x, y := a.Samples[i], b.Samples[i]
+		same := x.At == y.At && x.N == y.N && x.Restarts == y.Restarts &&
+			(x.Estimate == y.Estimate || (math.IsNaN(x.Estimate) && math.IsNaN(y.Estimate)))
+		if !same {
+			t.Fatalf("sample %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+}

@@ -55,27 +55,34 @@ type Params struct {
 	Trials   int
 	Samples  int
 	ComposeN int
+	// ChurnRates are the membership-turnover rates (agents replaced per
+	// unit of parallel time, as a fraction of n) swept by E-churn; the
+	// churn experiments run on Ns minus its largest entry (tracked runs
+	// cost a full convergence budget per trial).
+	ChurnRates []float64
 }
 
 // DefaultParams is the full EXPERIMENTS.md sizing.
 func DefaultParams() Params {
 	return Params{
-		Ns:       []int{100, 1000, 10000},
-		BigNs:    []int{1000, 10000, 100000},
-		Trials:   10,
-		Samples:  20000,
-		ComposeN: 1000,
+		Ns:         []int{100, 1000, 10000},
+		BigNs:      []int{1000, 10000, 100000},
+		Trials:     10,
+		Samples:    20000,
+		ComposeN:   1000,
+		ChurnRates: []float64{1e-5, 1e-4, 1e-3},
 	}
 }
 
 // QuickParams is the -quick smoke sizing.
 func QuickParams() Params {
 	return Params{
-		Ns:       []int{100, 500},
-		BigNs:    []int{500, 5000},
-		Trials:   4,
-		Samples:  4000,
-		ComposeN: 400,
+		Ns:         []int{100, 500},
+		BigNs:      []int{500, 5000},
+		Trials:     4,
+		Samples:    4000,
+		ComposeN:   400,
+		ChurnRates: []float64{1e-4, 1e-3},
 	}
 }
 
@@ -108,5 +115,7 @@ func DefaultDefs(cfg core.Config, scCfg synthcoin.Config, p Params) []Def {
 		AblationClockFactorDef(last, []int{4, 8, 16, 32, 95}, p.Trials),
 		AblationEpochFactorDef(last, []int{1, 2, 3, 5}, p.Trials),
 		AblationNoRestartDef(last, p.Trials*2),
+		ChurnTrackingDef(cfg, p.Ns[:len(p.Ns)-1], p.ChurnRates, p.Trials),
+		ChurnDetectionDef(cfg, p.Ns[:len(p.Ns)-1], p.Trials),
 	}
 }

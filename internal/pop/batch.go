@@ -144,6 +144,10 @@ type BatchSim[S comparable] struct {
 	n         int
 	interacts int64
 
+	// Per-segment parallel-time accounting (see Engine.Time).
+	timeBase float64
+	segStart int64
+
 	// Interning. states/counts are parallel: counts[id] agents currently
 	// hold states[id]. live counts the ids with counts > 0; distinct
 	// counts every state ever interned (the DistinctStates measure).
@@ -208,9 +212,7 @@ func newBatchShell[S comparable](rule Rule[S], o options) *BatchSim[S] {
 // New. It panics if WithInteractionCounts was requested (the multiset
 // representation has no agent identities).
 func NewBatch[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rule[S], opts ...Option) *BatchSim[S] {
-	if n < 2 {
-		panic(fmt.Sprintf("pop: population size %d < 2", n))
-	}
+	validatePopSize(int64(n))
 	var o options
 	for _, opt := range opts {
 		opt(&o)
@@ -291,8 +293,61 @@ func (b *BatchSim[S]) N() int { return b.n }
 // Interactions returns the number of interactions executed so far.
 func (b *BatchSim[S]) Interactions() int64 { return b.interacts }
 
-// Time returns the parallel time elapsed: interactions / n.
-func (b *BatchSim[S]) Time() float64 { return float64(b.interacts) / float64(b.n) }
+// Time returns the parallel time elapsed, accumulated per churn segment
+// (see Engine.Time); on a fixed population it equals interactions / n.
+func (b *BatchSim[S]) Time() float64 {
+	return b.timeBase + float64(b.interacts-b.segStart)/float64(b.n)
+}
+
+// beginSegment folds the current churn segment into timeBase before a
+// population-size change.
+func (b *BatchSim[S]) beginSegment() {
+	b.timeBase += float64(b.interacts-b.segStart) / float64(b.n)
+	b.segStart = b.interacts
+}
+
+// AddAgents adds k agents in state st (a join event): one count edit in
+// multiset mode, k appended slots in the sequential fallback.
+func (b *BatchSim[S]) AddAgents(st S, k int) {
+	checkJoin(b.n, k)
+	if k == 0 {
+		return
+	}
+	b.beginSegment()
+	if b.seqMode {
+		b.intern(st) // keep DistinctStates exact, as seqStep does
+		for i := 0; i < k; i++ {
+			b.agents = append(b.agents, st)
+		}
+	} else {
+		b.addCount(b.intern(st), int64(k))
+	}
+	b.n += k
+}
+
+// RemoveAgents removes k agents chosen uniformly at random without
+// replacement (a leave event), refusing to shrink the population below 2.
+// In multiset mode the removed agents' states are a multivariate
+// hypergeometric sample of the counts vector, drawn with the same
+// heavy/light chain the batch sampler uses.
+func (b *BatchSim[S]) RemoveAgents(k int) {
+	checkRemoval(b.n, k)
+	if k == 0 {
+		return
+	}
+	b.beginSegment()
+	if b.seqMode {
+		for r := k; r > 0; r-- {
+			n := len(b.agents)
+			j := b.rng.IntN(n)
+			b.agents[j] = b.agents[n-1]
+			b.agents = b.agents[:n-1]
+		}
+	} else {
+		removeCountsChain(b.rng, &b.tree, b.counts, b.total, int64(k), b.addCount)
+	}
+	b.n -= k
+}
 
 // DistinctStates returns the number of distinct states observed since the
 // initial configuration. Unlike the sequential engine, the batched engine

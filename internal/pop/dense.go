@@ -134,6 +134,12 @@ type DenseSim[S comparable] struct {
 	// added on top (and folded in at re-entry).
 	interactsBase int64
 
+	// Per-segment parallel-time accounting (see Engine.Time). segStart is
+	// measured on the delegation-inclusive Interactions() scale, which is
+	// continuous across delegate/reenter.
+	timeBase float64
+	segStart int64
+
 	// Interning, as in BatchSim.
 	states   []S
 	pos      map[S]int32
@@ -143,6 +149,7 @@ type DenseSim[S comparable] struct {
 	distinct int
 
 	qMax           int // live-state delegation threshold
+	qMaxOverride   int // WithDenseThreshold value (0 = rescale qMax with n on churn)
 	batchThreshold int // forwarded to the delegated BatchSim (0 = default)
 
 	cache    []cacheSlot
@@ -172,9 +179,7 @@ type DenseSim[S comparable] struct {
 // It panics if WithInteractionCounts was requested (the multiset
 // representation has no agent identities).
 func NewDense[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rule[S], opts ...Option) *DenseSim[S] {
-	if n < 2 {
-		panic(fmt.Sprintf("pop: population size %d < 2", n))
-	}
+	validatePopSize(int64(n))
 	var o options
 	for _, opt := range opts {
 		opt(&o)
@@ -230,6 +235,7 @@ func newDenseShell[S comparable](rule Rule[S], o options) *DenseSim[S] {
 		ruleRng:        rand.New(cs),
 		rule:           rule,
 		pos:            make(map[S]int32, 64),
+		qMaxOverride:   o.denseThreshold,
 		batchThreshold: o.batchThreshold,
 	}
 	d.cache = make([]cacheSlot, 1<<denseCacheBits)
@@ -287,8 +293,66 @@ func (d *DenseSim[S]) Interactions() int64 {
 	return d.interactsBase
 }
 
-// Time returns the parallel time elapsed: interactions / n.
-func (d *DenseSim[S]) Time() float64 { return float64(d.Interactions()) / float64(d.n) }
+// Time returns the parallel time elapsed, accumulated per churn segment
+// (see Engine.Time); on a fixed population it equals interactions / n.
+func (d *DenseSim[S]) Time() float64 {
+	return d.timeBase + float64(d.Interactions()-d.segStart)/float64(d.n)
+}
+
+// beginSegment folds the current churn segment into timeBase before a
+// population-size change. Interactions() is continuous across delegation
+// and re-entry, so the segment boundary is well defined in either mode.
+func (d *DenseSim[S]) beginSegment() {
+	i := d.Interactions()
+	d.timeBase += float64(i-d.segStart) / float64(d.n)
+	d.segStart = i
+}
+
+// rescaleThreshold re-derives the √n-scaled delegation threshold after a
+// population-size change (a WithDenseThreshold override stays fixed).
+func (d *DenseSim[S]) rescaleThreshold() {
+	if d.qMaxOverride > 0 {
+		return
+	}
+	d.qMax = defaultDenseThreshold(d.n)
+}
+
+// AddAgents adds k agents in state st (a join event): one count edit in
+// dense mode, forwarded to the inner BatchSim while delegated.
+func (d *DenseSim[S]) AddAgents(st S, k int) {
+	checkJoin(d.n, k)
+	if k == 0 {
+		return
+	}
+	d.beginSegment()
+	if d.inner != nil {
+		d.inner.AddAgents(st, k)
+	} else {
+		d.addCount(d.intern(st), int64(k))
+	}
+	d.n += k
+	d.rescaleThreshold()
+}
+
+// RemoveAgents removes k agents chosen uniformly at random without
+// replacement (a leave event), refusing to shrink the population below 2.
+// In dense mode the removed agents' states are a multivariate
+// hypergeometric sample of the counts vector; while delegated the removal
+// forwards to the inner BatchSim.
+func (d *DenseSim[S]) RemoveAgents(k int) {
+	checkRemoval(d.n, k)
+	if k == 0 {
+		return
+	}
+	d.beginSegment()
+	if d.inner != nil {
+		d.inner.RemoveAgents(k)
+	} else {
+		removeCountsChain(d.rng, &d.tree, d.counts, d.total, int64(k), d.addCount)
+	}
+	d.n -= k
+	d.rescaleThreshold()
+}
 
 // DistinctStates returns the number of distinct states observed since the
 // initial configuration, tracked intrinsically by interning (same

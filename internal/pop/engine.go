@@ -2,7 +2,9 @@ package pop
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"strconv"
 	"strings"
 )
 
@@ -43,13 +45,36 @@ import (
 // Count/All/Any, must depend only on the multiset of states (not on agent
 // identities), which is what the anonymous population model guarantees
 // anyway.
+//
+// Populations are dynamic: AddAgents and RemoveAgents model join/leave
+// churn between (never during) interactions, the regime of the dynamic
+// size-counting literature (Kaaser & Lohmann, arXiv:2405.05137). Agents
+// are anonymous, so a join is fully described by the joining state and a
+// leave by uniform-random selection; all three backends implement both
+// natively (the multiset engines as count edits, with removal drawn as a
+// multivariate hypergeometric sample of the counts vector). Parallel
+// time stays meaningful across churn because Time is accumulated per
+// population-size segment rather than as a single interactions/n ratio.
 type Engine[S comparable] interface {
-	// N returns the population size.
+	// N returns the current population size.
 	N() int
 	// Interactions returns the number of interactions executed so far.
 	Interactions() int64
-	// Time returns the parallel time elapsed: interactions / n.
+	// Time returns the parallel time elapsed. On a fixed population this
+	// is interactions / n; under churn it is the per-segment sum
+	// Σ_j I_j/n_j over the maximal runs of interactions I_j executed
+	// while the population size was n_j, so one unit of parallel time
+	// always means "n interactions at the current n".
 	Time() float64
+	// AddAgents adds k agents, all in state s, to the population (a join
+	// event). New agents are indistinguishable from incumbents to the
+	// scheduler from the next interaction on. k must be >= 0.
+	AddAgents(s S, k int)
+	// RemoveAgents removes k agents chosen uniformly at random without
+	// replacement (a leave event). It panics if the removal would shrink
+	// the population below the 2-agent minimum the pairwise scheduler
+	// needs.
+	RemoveAgents(k int)
 	// Step executes one interaction.
 	Step()
 	// Run executes k interactions.
@@ -228,6 +253,50 @@ func NewEngineFromCounts[S comparable](states []S, counts []int64, rule Rule[S],
 	}
 }
 
+// validatePopSize is the single population-size check shared by every
+// engine constructor: the pairwise scheduler draws two distinct agents,
+// so n = 0 and n = 1 are unconstructible (and RemoveAgents refuses to
+// churn a population down to them — DenseSim.Step, for one, would panic
+// drawing a partner at n = 1).
+func validatePopSize(n int64) {
+	if n < 2 {
+		panic(fmt.Sprintf(
+			"pop: population size %d < 2 (the pairwise scheduler needs two distinct agents)", n))
+	}
+	// Guard the int64 → int narrowing explicitly: the dense backend
+	// advertises n up to 10¹⁰, which silently truncates where int is 32
+	// bits.
+	if n > math.MaxInt {
+		panic(fmt.Sprintf(
+			"pop: population size %d exceeds this platform's %d-bit int; multiset populations beyond 2³¹ need a 64-bit build",
+			n, strconv.IntSize))
+	}
+}
+
+// checkJoin validates an AddAgents call on a population of n agents.
+func checkJoin(n, k int) {
+	if k < 0 {
+		panic(fmt.Sprintf("pop: AddAgents called with negative count %d", k))
+	}
+	if int64(n)+int64(k) > math.MaxInt {
+		panic(fmt.Sprintf(
+			"pop: AddAgents(%d) would grow the population of %d past this platform's %d-bit int",
+			k, n, strconv.IntSize))
+	}
+}
+
+// checkRemoval validates a RemoveAgents call on a population of n agents:
+// removal must leave the 2-agent minimum in place.
+func checkRemoval(n, k int) {
+	if k < 0 {
+		panic(fmt.Sprintf("pop: RemoveAgents called with negative count %d", k))
+	}
+	if n-k < 2 {
+		panic(fmt.Sprintf(
+			"pop: RemoveAgents(%d) would shrink the population of %d below the 2-agent minimum", k, n))
+	}
+}
+
 // validateCounts checks a state-count multiset's shape (parallel slices,
 // no negative counts, population of at least 2 that fits an int) and
 // returns its total, shared by the multiset engine constructors.
@@ -242,12 +311,7 @@ func validateCounts[S comparable](states []S, counts []int64) int64 {
 		}
 		total += c
 	}
-	if total < 2 {
-		panic(fmt.Sprintf("pop: population size %d < 2", total))
-	}
-	if int64(int(total)) != total {
-		panic("pop: population size overflows int")
-	}
+	validatePopSize(total)
 	return total
 }
 

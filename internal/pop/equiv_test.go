@@ -12,9 +12,11 @@ package pop_test
 
 import (
 	"math"
+	"math/rand/v2"
 	"reflect"
 	"testing"
 
+	"github.com/popsim/popsize/internal/churn"
 	"github.com/popsim/popsize/internal/core"
 	"github.com/popsim/popsize/internal/epidemic"
 	"github.com/popsim/popsize/internal/exactcount"
@@ -155,6 +157,93 @@ func TestEquivalenceExactCount(t *testing.T) {
 			got := run(eb.backend, eb.seedOff+20)
 			meansAgree(t, "exact-count termination time vs "+eb.backend.String(),
 				seq, got, 0.1*stats.Summarize(seq).Mean)
+		}
+	}
+}
+
+// TestEquivalenceChurnTrajectory extends the suite to dynamic
+// populations: all three backends run the identical churn schedule (a
+// join wave, a heavy leave, and lockstep turnover) over a one-way
+// epidemic, and the end-state infected-count distributions must agree.
+// The epidemic is maximally receiver/sender-asymmetric and joiners enter
+// uninfected, so a bias in any backend's removal sampling or in the
+// churn-segment bookkeeping shifts the infected fraction directly.
+func TestEquivalenceChurnTrajectory(t *testing.T) {
+	const n0, trials = 1000, 32
+	sched := churn.Merge(
+		churn.Schedule{{At: 2, Join: 600}, {At: 5, Leave: 900}},
+		churn.Step(n0, 2e-2, 1.5, 10),
+	)
+	wantN := sched.Net(n0)
+	oneWay := func(rec, sen epidemic.State, _ *rand.Rand) (epidemic.State, epidemic.State) {
+		if sen.Val > rec.Val {
+			rec.Val = sen.Val
+		}
+		return rec, sen
+	}
+	run := func(backend pop.Backend, seedOff uint64) (infected, times []float64) {
+		infected = make([]float64, trials)
+		times = make([]float64, trials)
+		pop.RunTrials(trials, 0, func(tr int) struct{} {
+			e := pop.NewEngineFromCounts(
+				[]epidemic.State{{Val: 1, Member: true}, {Val: 0, Member: true}},
+				[]int64{40, n0 - 40}, oneWay,
+				pop.WithSeed(seedOff+uint64(tr)*613), pop.WithBackend(backend))
+			churn.Apply(e, sched, epidemic.State{Member: true}, 10, 0, nil)
+			if e.N() != wantN {
+				t.Errorf("backend=%v trial %d: final n=%d, want %d", backend, tr, e.N(), wantN)
+			}
+			infected[tr] = float64(e.Count(func(s epidemic.State) bool { return s.Val == 1 }))
+			times[tr] = e.Time()
+			return struct{}{}
+		})
+		return infected, times
+	}
+	seqI, seqT := run(equivBackends[0].backend, equivBackends[0].seedOff+30)
+	for _, eb := range equivBackends[1:] {
+		gotI, gotT := run(eb.backend, eb.seedOff+30)
+		meansAgree(t, "churned epidemic infected count vs "+eb.backend.String(),
+			seqI, gotI, 0.02*float64(wantN))
+		// Segmented parallel time is deterministic up to 1/n quanta: every
+		// backend must land on the same horizon.
+		meansAgree(t, "churned trajectory end time vs "+eb.backend.String(), seqT, gotT, 0.05)
+	}
+}
+
+// TestEquivalenceChurnCoreProtocol runs the headline protocol through a
+// mid-run doubling on all three backends: convergence must still happen
+// and the end-state estimate distributions must agree. (The doubling
+// lands early — before convergence — so the protocol's own restart
+// machinery absorbs it identically on every backend.)
+func TestEquivalenceChurnCoreProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence suite is not short")
+	}
+	p := core.MustNew(equivConfig())
+	const n0, trials = 500, 12
+	run := func(backend pop.Backend, seedOff uint64) []float64 {
+		ests := make([]float64, trials)
+		pop.RunTrials(trials, 0, func(tr int) struct{} {
+			e := pop.NewEngineFromCounts(
+				[]core.State{core.Initial()}, []int64{n0}, p.Rule,
+				pop.WithSeed(seedOff+uint64(tr)*409), pop.WithBackend(backend))
+			churn.Apply(e, churn.Doubling(n0, 8), core.Initial(), 10, 0, nil)
+			ok, _ := e.RunUntil(p.Converged, 4, p.DefaultMaxTime(2*n0))
+			if !ok {
+				t.Errorf("backend=%v trial %d did not converge after the doubling", backend, tr)
+			}
+			ests[tr] = core.Estimates(e).Mean
+			return struct{}{}
+		})
+		return ests
+	}
+	seqE := run(equivBackends[0].backend, equivBackends[0].seedOff+40)
+	logN := math.Log2(float64(2 * n0))
+	for _, eb := range equivBackends[1:] {
+		gotE := run(eb.backend, eb.seedOff+40)
+		meansAgree(t, "churned core estimate vs "+eb.backend.String(), seqE, gotE, 0.5)
+		if m := stats.Summarize(gotE).Mean; math.Abs(m-logN) > 6 {
+			t.Errorf("%v: churned mean estimate %.2f far from log2(2n) = %.2f", eb.backend, m, logN)
 		}
 	}
 }

@@ -114,6 +114,48 @@ func multivariateHypergeometric(r *rand.Rand, counts []int64, total, m int64, ds
 	}
 }
 
+// removeCountsChain debits a uniform without-replacement sample of k
+// agents from the counts vector through debit — the multivariate
+// hypergeometric chain with the batch samplers' heavy/light split: one
+// hypergeometric draw per state while a state expects a material share
+// of the sample, one Fenwick descent over the remaining suffix per agent
+// for the light tail. It is the single removal sampler behind
+// BatchSim.RemoveAgents and DenseSim.RemoveAgents, so the two multiset
+// backends cannot drift apart. debit must keep counts in sync (both
+// engines pass their addCount).
+func removeCountsChain(rng *rand.Rand, tree *fenwick, counts []int64, total, k int64, debit func(id int32, d int64)) {
+	remPop := total
+	for id := 0; id < len(counts) && k > 0; id++ {
+		c := counts[id]
+		if c == 0 {
+			continue
+		}
+		if c*k < batchHeavyMean*remPop && k < 2*int64(len(counts)-id) {
+			tree.reset(counts[id:])
+			for ; k > 0; k-- {
+				sid := int32(id + tree.findAndDec(rng.Int64N(remPop)))
+				remPop--
+				debit(sid, -1)
+			}
+			return
+		}
+		var d int64
+		if remPop == k {
+			d = c // forced: every remaining agent leaves
+		} else {
+			d = hypergeometric(rng, remPop, c, k)
+		}
+		remPop -= c
+		k -= d
+		if d > 0 {
+			debit(int32(id), -d)
+		}
+	}
+	if k != 0 {
+		panic("pop: churn removal under-filled")
+	}
+}
+
 // hypergeometricModeWalk is inverse-transform sampling anchored at the
 // distribution's mode, accumulating probability outward with the pmf ratio
 // recurrences; expected number of steps is O(std dev).

@@ -35,7 +35,6 @@
 package pop
 
 import (
-	"fmt"
 	"math/rand/v2"
 )
 
@@ -57,6 +56,12 @@ type Sim[S comparable] struct {
 	rule         Rule[S]
 	interactions int64
 
+	// Per-segment parallel-time accounting (see Engine.Time): timeBase is
+	// the parallel time accumulated over completed churn segments and
+	// segStart the interaction count at the current segment's start.
+	timeBase float64
+	segStart int64
+
 	seen    map[S]struct{} // non-nil iff state tracking enabled
 	icounts []int64        // non-nil iff per-agent interaction counting enabled
 }
@@ -66,9 +71,7 @@ type Sim[S comparable] struct {
 // ignores i (all agents start identically); index-dependent initialization
 // supports inputs (e.g. majority opinions) and initial leaders.
 func New[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rule[S], opts ...Option) *Sim[S] {
-	if n < 2 {
-		panic(fmt.Sprintf("pop: population size %d < 2", n))
-	}
+	validatePopSize(int64(n))
 	if rule == nil {
 		panic("pop: nil rule")
 	}
@@ -110,9 +113,60 @@ func (s *Sim[S]) N() int { return len(s.agents) }
 // Interactions returns the number of interactions executed so far.
 func (s *Sim[S]) Interactions() int64 { return s.interactions }
 
-// Time returns the parallel time elapsed: interactions / n.
+// Time returns the parallel time elapsed, accumulated per churn segment
+// (see Engine.Time); on a fixed population it equals interactions / n.
 func (s *Sim[S]) Time() float64 {
-	return float64(s.interactions) / float64(len(s.agents))
+	return s.timeBase + float64(s.interactions-s.segStart)/float64(len(s.agents))
+}
+
+// beginSegment folds the current churn segment into timeBase before a
+// population-size change, so parallel time keeps meaning "interactions
+// over the n they ran against".
+func (s *Sim[S]) beginSegment() {
+	s.timeBase += float64(s.interactions-s.segStart) / float64(len(s.agents))
+	s.segStart = s.interactions
+}
+
+// AddAgents adds k agents in state st (a join event). The appended slots
+// are indistinguishable from incumbents to the uniform scheduler.
+func (s *Sim[S]) AddAgents(st S, k int) {
+	checkJoin(len(s.agents), k)
+	if k == 0 {
+		return
+	}
+	s.beginSegment()
+	for i := 0; i < k; i++ {
+		s.agents = append(s.agents, st)
+	}
+	if s.icounts != nil {
+		s.icounts = append(s.icounts, make([]int64, k)...)
+	}
+	if s.seen != nil {
+		s.seen[st] = struct{}{}
+	}
+}
+
+// RemoveAgents removes k agents chosen uniformly at random without
+// replacement (a leave event), refusing to shrink the population below 2.
+func (s *Sim[S]) RemoveAgents(k int) {
+	checkRemoval(len(s.agents), k)
+	if k == 0 {
+		return
+	}
+	s.beginSegment()
+	// Swap-delete a uniform index each round: a uniform without-
+	// replacement sample of the agent slice (per-agent interaction
+	// counts, when tracked, travel with their agent).
+	for ; k > 0; k-- {
+		n := len(s.agents)
+		j := s.rng.IntN(n)
+		s.agents[j] = s.agents[n-1]
+		s.agents = s.agents[:n-1]
+		if s.icounts != nil {
+			s.icounts[j] = s.icounts[n-1]
+			s.icounts = s.icounts[:n-1]
+		}
+	}
 }
 
 // Agent returns the current state of agent i.

@@ -20,8 +20,10 @@ type Group struct {
 // Agg summarizes one group: trial counts, the first two moments, and a
 // bootstrap percentile confidence interval for the mean.
 type Agg struct {
-	// Trials is the number of finite contributions; NaN values (trials
-	// that did not converge) are counted in Dropped instead.
+	// Trials is the number of finite contributions; non-finite values —
+	// NaN (trials that did not converge) and ±Inf (e.g. a ratio field
+	// with a zero denominator) — are counted in Dropped instead, so a
+	// single degenerate trial cannot poison a group's moments and CI.
 	Trials  int
 	Dropped int
 	Mean    float64
@@ -54,7 +56,7 @@ func Aggregate(recs []Record, resamples int, seed uint64) map[Group]Agg {
 		finite := xs[:0:0]
 		dropped := 0
 		for _, x := range xs {
-			if math.IsNaN(x) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
 				dropped++
 				continue
 			}
@@ -111,7 +113,7 @@ func SummaryTable(recs []Record, resamples int, seed uint64) stats.Table {
 	})
 	t := stats.Table{
 		Title:   "Sweep summary",
-		Note:    "Per (experiment, n, field): mean ± stddev over converged trials with a 95% bootstrap CI; dropped = non-converged trials.",
+		Note:    "Per (experiment, n, field): mean ± stddev over finite trials with a 95% bootstrap CI; dropped = non-finite (NaN/±Inf) trials.",
 		Columns: []string{"experiment", "n", "field", "trials", "dropped", "mean", "stddev", "ci lo", "ci hi"},
 	}
 	for _, g := range groups {

@@ -290,3 +290,36 @@ func TestAggregate(t *testing.T) {
 		t.Error("summary markdown missing experiment id")
 	}
 }
+
+// TestAggregateDropsInf is the regression test for the Inf-poisoning bug:
+// Aggregate documented Trials as "finite contributions" but dropped only
+// NaN, so one +Inf (e.g. a ratio field with a zero denominator) poisoned
+// Mean/Std and both bootstrap CI bounds for the whole group. ±Inf must be
+// dropped alongside NaN.
+func TestAggregateDropsInf(t *testing.T) {
+	recs := []Record{
+		{Key: Key{"E1", 100, 0}, Values: Values{"ratio": 1}},
+		{Key: Key{"E1", 100, 1}, Values: Values{"ratio": 2}},
+		{Key: Key{"E1", 100, 2}, Values: Values{"ratio": math.Inf(1)}},
+		{Key: Key{"E2", 100, 0}, Values: Values{"ratio": math.Inf(-1)}},
+	}
+	a := Aggregate(recs, 200, 1)[Group{"E1", 100, "ratio"}]
+	if a.Trials != 2 || a.Dropped != 1 {
+		t.Errorf("trials=%d dropped=%d, want 2, 1", a.Trials, a.Dropped)
+	}
+	if a.Mean != 1.5 {
+		t.Errorf("mean = %v, want 1.5 (+Inf must not poison the group)", a.Mean)
+	}
+	if math.IsInf(a.Std, 0) || math.IsNaN(a.Std) {
+		t.Errorf("std = %v, want finite", a.Std)
+	}
+	if math.IsInf(a.CILo, 0) || math.IsInf(a.CIHi, 0) ||
+		a.CILo < 1 || a.CIHi > 2 || a.CILo > a.CIHi {
+		t.Errorf("bootstrap CI [%v, %v], want finite within [1, 2]", a.CILo, a.CIHi)
+	}
+	// A group with only non-finite values aggregates to NaN moments, not Inf.
+	b := Aggregate(recs, 200, 1)[Group{"E2", 100, "ratio"}]
+	if b.Trials != 0 || b.Dropped != 1 || !math.IsNaN(b.Mean) {
+		t.Errorf("all-Inf group: %+v, want 0 trials, 1 dropped, NaN mean", b)
+	}
+}

@@ -57,8 +57,22 @@
 //     its √n-scaled threshold.
 //
 // The default (pop.Auto) picks the batched engine for populations of at
-// least 4096 agents and the dense engine beyond ~8 million. Multi-trial
-// experiments parallelize across goroutines with pop.RunTrials.
+// least 4096 agents and the dense engine beyond ~8 million (2²³).
+// Multi-trial experiments parallelize across goroutines with
+// pop.RunTrials.
+//
+// # Dynamic populations
+//
+// All three engines support join/leave churn between interactions —
+// AddAgents inserts agents in a given state, RemoveAgents removes a
+// uniform-random subset (drawn as a multivariate hypergeometric sample
+// of the configuration on the multiset backends) — and parallel time is
+// accumulated per population-size segment so it stays meaningful as n
+// changes. The internal churn package layers declarative schedules
+// (step and Poisson turnover, doubling/halving, bursts) and a
+// detect-and-restart size tracker in the spirit of Kaaser & Lohmann
+// (arXiv:2405.05137) on top; see DESIGN.md §1.2, examples/churn, and
+// the E-churn experiments.
 package popsize
 
 import (
