@@ -6,16 +6,22 @@
 // interrupted run.
 //
 // By default it uses the fast constant preset and n ∈ {100, 1000, 10000};
-// -full adds n = 100000 and -paper switches to the 95/5 constants of
-// Protocol 1 (≈30× more interactions; budget accordingly). -backend
-// selects the simulation engine (auto|seq|batch|dense).
+// -ns overrides the size grid (comma-separated), -full adds n = 100000
+// and -paper switches to the 95/5 constants of Protocol 1 (≈30× more
+// interactions; budget accordingly). -backend selects the simulation
+// engine (auto|seq|batch|dense) and -par the deterministic intra-trial
+// worker target.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
 
 	"github.com/popsim/popsize/internal/core"
 	"github.com/popsim/popsize/internal/expt"
@@ -24,32 +30,76 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fig2:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	full := flag.Bool("full", false, "add n = 100000")
-	paper := flag.Bool("paper", false, "use the paper's constants (95/5)")
-	trials := flag.Int("trials", 10, "trials per population size (paper: 10)")
-	outDir := flag.String("out", "results", "directory for fig2.csv (empty = skip)")
-	sf := sweep.Register(flag.CommandLine, "")
-	flag.Parse()
+// parseNs parses the -ns grid: comma-separated population sizes, each at
+// least 2, in any order (kept as given — the plot sorts on its log axis).
+// Duplicates are dropped: a repeated size would expand into sweep points
+// with identical (experiment, n, trial) keys, double-running every trial
+// and writing duplicate checkpoint records.
+func parseNs(s string) ([]int, error) {
+	var ns []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -ns entry %q: %w", part, err)
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("bad -ns entry %d: population sizes need at least 2 agents", n)
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("-ns %q contains no population sizes", s)
+	}
+	return ns, nil
+}
+
+// run is the command body, parameterized on its argument list and output
+// stream so the CLI tests can exercise flag parsing and a smoke-sized
+// end-to-end sweep without spawning a process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	full := fs.Bool("full", false, "add n = 100000")
+	paper := fs.Bool("paper", false, "use the paper's constants (95/5)")
+	trials := fs.Int("trials", 10, "trials per population size (paper: 10)")
+	nsFlag := fs.String("ns", "100,1000,10000", "comma-separated population sizes")
+	outDir := fs.String("out", "results", "directory for fig2.csv (empty = skip)")
+	sf := sweep.Register(fs, "")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	be, err := sf.ParseBackend()
 	if err != nil {
 		return err
 	}
 	expt.SetBackend(be)
+	expt.SetParallelism(sf.Par)
 
 	cfg := core.FastConfig()
 	if *paper {
 		cfg = core.PaperConfig()
 	}
-	ns := []int{100, 1000, 10000}
-	if *full {
+	ns, err := parseNs(*nsFlag)
+	if err != nil {
+		return err
+	}
+	if *full && !slices.Contains(ns, 100000) {
 		ns = append(ns, 100000)
 	}
 
@@ -59,8 +109,8 @@ func run() error {
 		return err
 	}
 	table := d.Render(res)
-	fmt.Println(table.Markdown())
-	fmt.Println(stats.ASCIIPlotLogX("Figure 2: convergence time vs population size (log10 x)",
+	fmt.Fprintln(stdout, table.Markdown())
+	fmt.Fprintln(stdout, stats.ASCIIPlotLogX("Figure 2: convergence time vs population size (log10 x)",
 		expt.Fig2Points(res, ns), 64, 18))
 
 	if *outDir != "" {
@@ -71,7 +121,7 @@ func run() error {
 		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
 			return err
 		}
-		fmt.Println("wrote", path)
+		fmt.Fprintln(stdout, "wrote", path)
 	}
 	return nil
 }

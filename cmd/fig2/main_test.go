@@ -1,0 +1,87 @@
+// CLI-level tests for cmd/fig2: -ns grid parsing, flag errors, and a
+// smoke-sized end-to-end sweep with table and CSV output.
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseNs(t *testing.T) {
+	good := map[string][]int{
+		"100,1000":    {100, 1000},
+		" 64 , 128 ":  {64, 128},
+		"2":           {2},
+		"500,100,300": {500, 100, 300}, // order preserved
+		"100,100,200": {100, 200},      // duplicates dropped: repeated sizes would double-run trials
+	}
+	for in, want := range good {
+		got, err := parseNs(in)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("parseNs(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", ",", "abc", "100,x", "1", "0", "-5"} {
+		if got, err := parseNs(bad); err == nil {
+			t.Errorf("parseNs(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-ns", "abc"}, io.Discard); err == nil || !strings.Contains(err.Error(), "bad -ns entry") {
+		t.Errorf("bad -ns: err = %v", err)
+	}
+	if err := run([]string{"-backend", "quantum"}, io.Discard); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("bad -backend: err = %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-ns", "64,128", "-trials", "1", "-seed", "3", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatalf("smoke run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"| n |", "Figure 2", "fig2.csv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatalf("fig2.csv not written: %v", err)
+	}
+	if !strings.Contains(string(csv), "64") || !strings.Contains(string(csv), "128") {
+		t.Errorf("fig2.csv lacks the -ns sizes:\n%s", csv)
+	}
+}
+
+// TestRunParDeterminism: the -par flag must not change the rendered
+// figure for a fixed seed (worker-count invariance at the CLI level).
+func TestRunParDeterminism(t *testing.T) {
+	outs := map[string]string{}
+	for _, par := range []string{"1", "4"} {
+		var buf bytes.Buffer
+		err := run([]string{"-ns", "64,128", "-trials", "1", "-seed", "5",
+			"-backend", "batch", "-par", par, "-out", ""}, &buf)
+		if err != nil {
+			t.Fatalf("-par %s run failed: %v\n%s", par, err, buf.String())
+		}
+		outs[par] = buf.String()
+	}
+	if outs["1"] != outs["4"] {
+		t.Errorf("-par 1 and -par 4 render different figures:\n%s\nvs\n%s", outs["1"], outs["4"])
+	}
+}

@@ -9,11 +9,11 @@ import (
 	"github.com/popsim/popsize/internal/sweep"
 )
 
-func exactCountRunner(n int, backend pop.Backend, box *errBox) protocolRunner {
+func exactCountRunner(n int, backend pop.Backend, par int, box *errBox) protocolRunner {
 	p := exactcount.New(0)
 	return protocolRunner{
 		run: func(tr int, seed uint64) sweep.Values {
-			s := p.NewEngine(n, pop.WithSeed(seed), pop.WithBackend(backend))
+			s := p.NewEngine(n, pop.WithSeed(seed), pop.WithBackend(backend), pop.WithParallelism(par))
 			ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
 			if !ok {
 				box.set(fmt.Errorf("trial %d: exact count never terminated on n=%d", tr, n))

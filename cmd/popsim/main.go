@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	popsim -protocol main -n 10000 -trials 5 -seed 1 [-paper] [-backend auto|seq|batch|dense]
+//	popsim -protocol main -n 10000 -trials 5 -seed 1 [-paper] [-backend auto|seq|batch|dense] [-par N]
 //
 // The dense backend makes very large populations practical (its state is
 // the count vector, never an agent array): -protocol weak -n 1000000000
-// runs in ordinary memory.
+// runs in ordinary memory. -par additionally parallelizes each trial's
+// batch sampling across cores (deterministically: any -par >= 1 yields
+// the identical trajectory for a given seed).
 //
 // Protocols: main (Log-Size-Estimation), synthcoin (App. B deterministic),
 // upperbound (§3.3 probability-1), leaderterm (§3.4 terminating with a
@@ -21,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sync"
@@ -32,7 +35,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
 		os.Exit(1)
 	}
@@ -67,13 +70,20 @@ func (b *errBox) get() error {
 	return b.err
 }
 
-func run() error {
-	protocol := flag.String("protocol", "main", "main|synthcoin|upperbound|leaderterm|weak|exactcount")
-	n := flag.Int("n", 1000, "population size")
-	trials := flag.Int("trials", 3, "number of independent runs")
-	paper := flag.Bool("paper", false, "use the paper's constants (95/5) instead of the fast preset")
-	sf := sweep.Register(flag.CommandLine, "")
-	flag.Parse()
+// run is the command body, parameterized on its argument list and output
+// stream so the CLI tests can exercise flag parsing, backend/parallelism
+// selection and end-to-end trial output without spawning a process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("popsim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	protocol := fs.String("protocol", "main", "main|synthcoin|upperbound|leaderterm|weak|exactcount")
+	n := fs.Int("n", 1000, "population size")
+	trials := fs.Int("trials", 3, "number of independent runs")
+	paper := fs.Bool("paper", false, "use the paper's constants (95/5) instead of the fast preset")
+	sf := sweep.Register(fs, "")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	backend, err := sf.ParseBackend()
 	if err != nil {
@@ -81,7 +91,7 @@ func run() error {
 	}
 
 	logN := math.Log2(float64(*n))
-	fmt.Printf("protocol=%s n=%d log2(n)=%.3f trials=%d\n", *protocol, *n, logN, *trials)
+	fmt.Fprintf(stdout, "protocol=%s n=%d log2(n)=%.3f trials=%d\n", *protocol, *n, logN, *trials)
 
 	cfg := popsize.FastConfig()
 	if *paper {
@@ -89,7 +99,7 @@ func run() error {
 	}
 
 	var box errBox
-	r, err := runner(*protocol, cfg, *n, backend, &box)
+	r, err := runner(*protocol, cfg, *n, backend, sf.Par, &box)
 	if err != nil {
 		return err
 	}
@@ -115,13 +125,13 @@ func run() error {
 				return fmt.Errorf("trial %d: recorded %q is NaN — the trial failed when it was checkpointed; rerun it by deleting %s or dropping -resume", t, field, sf.JSONL)
 			}
 		}
-		fmt.Printf("trial %d: %s\n", t, r.format(rec.Values))
+		fmt.Fprintf(stdout, "trial %d: %s\n", t, r.format(rec.Values))
 	}
 	_ = core.Initial // documents that popsim sits atop the same core package
 	return nil
 }
 
-func runner(protocol string, cfg popsize.Config, n int, backend pop.Backend, box *errBox) (protocolRunner, error) {
+func runner(protocol string, cfg popsize.Config, n int, backend pop.Backend, par int, box *errBox) (protocolRunner, error) {
 	logN := math.Log2(float64(n))
 	switch protocol {
 	case "main":
@@ -131,7 +141,7 @@ func runner(protocol string, cfg popsize.Config, n int, backend pop.Backend, box
 		}
 		return protocolRunner{
 			run: func(tr int, seed uint64) sweep.Values {
-				r := est.Run(n, popsize.RunOptions{Seed: seed, Backend: backend})
+				r := est.Run(n, popsize.RunOptions{Seed: seed, Backend: backend, Parallelism: par})
 				return sweep.Values{
 					"converged": sweep.Bool(r.Converged), "time": r.Time,
 					"estimate": r.Estimate, "countA": float64(r.CountA),
@@ -192,7 +202,7 @@ func runner(protocol string, cfg popsize.Config, n int, backend pop.Backend, box
 	case "weak":
 		return protocolRunner{
 			run: func(tr int, seed uint64) sweep.Values {
-				k, err := popsize.WeakEstimateBackend(n, seed, backend)
+				k, err := popsize.WeakEstimateBackend(n, seed, backend, pop.WithParallelism(par))
 				if err != nil {
 					box.set(fmt.Errorf("trial %d: %w", tr, err))
 					return sweep.Values{"k": math.NaN()}
@@ -204,7 +214,7 @@ func runner(protocol string, cfg popsize.Config, n int, backend pop.Backend, box
 			},
 		}, nil
 	case "exactcount":
-		return exactCountRunner(n, backend, box), nil
+		return exactCountRunner(n, backend, par, box), nil
 	default:
 		return protocolRunner{}, fmt.Errorf("unknown protocol %q", protocol)
 	}

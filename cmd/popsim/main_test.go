@@ -1,0 +1,99 @@
+// CLI-level tests for cmd/popsim: flag parsing, backend/parallelism
+// selection, and tiny-n end-to-end smoke runs — run() is parameterized on
+// (args, stdout) precisely so these can execute in-process.
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	err := run([]string{"-protocol", "nope", "-n", "64", "-trials", "1"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("err = %v, want unknown-protocol error", err)
+	}
+}
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	err := run([]string{"-backend", "quantum", "-n", "64", "-trials", "1"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("err = %v, want unknown-backend error", err)
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(buf.String(), "Usage") && !strings.Contains(buf.String(), "-protocol") {
+		t.Errorf("usage not printed to the provided writer:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsResumeWithoutJSONL(t *testing.T) {
+	err := run([]string{"-protocol", "weak", "-n", "64", "-trials", "1", "-resume"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-resume requires -jsonl") {
+		t.Fatalf("err = %v, want resume-requires-jsonl error", err)
+	}
+}
+
+func TestRunMainProtocolSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-protocol", "main", "-n", "300", "-trials", "2", "-seed", "7"}, &buf); err != nil {
+		t.Fatalf("smoke run failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "protocol=main n=300") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	for _, want := range []string{"trial 0: converged=", "trial 1: converged=", "estimate="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWeakProtocolBackendsAndJSONL(t *testing.T) {
+	jsonl := filepath.Join(t.TempDir(), "weak.jsonl")
+	var buf bytes.Buffer
+	args := []string{"-protocol", "weak", "-n", "5000", "-trials", "1", "-seed", "3",
+		"-backend", "batch", "-jsonl", jsonl}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("weak smoke run failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "trial 0: k=") {
+		t.Errorf("weak output lacks trial line:\n%s", buf.String())
+	}
+	// The JSONL stream doubles as a checkpoint: -resume replays it.
+	var buf2 bytes.Buffer
+	if err := run(append(args, "-resume"), &buf2); err != nil {
+		t.Fatalf("resume replay failed: %v\n%s", err, buf2.String())
+	}
+	if buf.String() != buf2.String() {
+		t.Errorf("resumed output differs:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestRunParDeterminism is the CLI-level worker-count invariance check:
+// -par 1 and -par 3 must print byte-identical per-trial results for the
+// same seed on a multiset backend.
+func TestRunParDeterminism(t *testing.T) {
+	outs := map[string]string{}
+	for _, par := range []string{"1", "3"} {
+		var buf bytes.Buffer
+		err := run([]string{"-protocol", "main", "-n", "400", "-trials", "2", "-seed", "11",
+			"-backend", "batch", "-par", par}, &buf)
+		if err != nil {
+			t.Fatalf("-par %s run failed: %v\n%s", par, err, buf.String())
+		}
+		outs[par] = buf.String()
+	}
+	if outs["1"] != outs["3"] {
+		t.Errorf("-par 1 and -par 3 disagree:\n%s\nvs\n%s", outs["1"], outs["3"])
+	}
+}

@@ -27,6 +27,9 @@ type TrackerConfig struct {
 	Protocol core.Config
 	// Backend selects the simulation engine (default pop.Auto).
 	Backend pop.Backend
+	// Parallelism is the intra-trial worker target forwarded to the
+	// engines (pop.WithParallelism semantics; 0 = auto).
+	Parallelism int
 	// TickEvery is the poll cadence in parallel time: detection checks
 	// and samples happen at every tick. It must stay below the O(log n)
 	// partition timescale or join waves are absorbed unseen; the default
@@ -162,7 +165,7 @@ func Track(cfg TrackerConfig, n0 int, sched Schedule, seed uint64, until float64
 		e = pop.NewEngineFromCounts(
 			[]core.State{core.Initial()}, []int64{int64(size)}, p.Rule,
 			pop.WithSeed(pop.TrialSeed(seed, "churn/restart", restarts)),
-			pop.WithBackend(cfg.Backend))
+			pop.WithBackend(cfg.Backend), pop.WithParallelism(cfg.Parallelism))
 	}
 	spawn(n0)
 	offset := 0.0 // global time already elapsed on previous engines

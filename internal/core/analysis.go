@@ -154,6 +154,11 @@ type RunOptions struct {
 	// Backend selects the simulation engine (default pop.Auto: batched
 	// for large populations, sequential otherwise).
 	Backend pop.Backend
+	// Parallelism is the intra-trial worker target for the multiset
+	// backends (pop.WithParallelism): 0 = auto, >= 1 forces the
+	// deterministic divide-and-conquer sampling path, whose trajectory is
+	// identical for every worker count.
+	Parallelism int
 	// MaxTime bounds the run in parallel time; 0 selects a generous
 	// default that scales as log² n.
 	MaxTime float64
@@ -173,7 +178,7 @@ func (p *Protocol) DefaultMaxTime(n int) float64 {
 
 // Run executes one complete trial on n agents and returns its Result.
 func (p *Protocol) Run(n int, o RunOptions) Result {
-	opts := []pop.Option{pop.WithSeed(o.Seed), pop.WithBackend(o.Backend)}
+	opts := []pop.Option{pop.WithSeed(o.Seed), pop.WithBackend(o.Backend), pop.WithParallelism(o.Parallelism)}
 	if o.TrackStates {
 		opts = append(opts, pop.WithStateTracking())
 	}

@@ -10,8 +10,12 @@ import (
 // package (default pop.Auto). cmd/experiments and cmd/fig2 set it from
 // their -backend flag (auto|seq|batch|dense) before running; generators
 // that inherently need per-agent data (e.g. InteractionConcentration)
-// stay on the sequential engine regardless.
-var backend atomic.Int32
+// stay on the sequential engine regardless. parallelism likewise mirrors
+// the -par flag (intra-trial worker target; 0 = auto).
+var (
+	backend     atomic.Int32
+	parallelism atomic.Int32
+)
 
 // SetBackend selects the simulation backend for subsequent generator runs.
 func SetBackend(b pop.Backend) { backend.Store(int32(b)) }
@@ -19,5 +23,15 @@ func SetBackend(b pop.Backend) { backend.Store(int32(b)) }
 // Backend returns the currently selected simulation backend.
 func Backend() pop.Backend { return pop.Backend(backend.Load()) }
 
-// engineOpt returns the pop option encoding the selected backend.
-func engineOpt() pop.Option { return pop.WithBackend(Backend()) }
+// SetParallelism selects the intra-trial worker target for subsequent
+// generator runs (pop.WithParallelism semantics).
+func SetParallelism(p int) { parallelism.Store(int32(max(p, 0))) }
+
+// Parallelism returns the currently selected intra-trial worker target.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// engineOpt returns the pop option encoding the selected backend and
+// intra-trial parallelism.
+func engineOpt() pop.Option {
+	return pop.Combine(pop.WithBackend(Backend()), pop.WithParallelism(Parallelism()))
+}

@@ -44,7 +44,7 @@ func BaselinesDef(cfg core.Config, ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/main", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					r := mp.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+					r := mp.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
 					return sweep.Values{"time": r.Time, "err": r.MaxErr}
 				},
 			},

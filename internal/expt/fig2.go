@@ -35,7 +35,7 @@ func Fig2Def(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
 				t := r.Time
 				if !r.Converged {
 					t = math.NaN()

@@ -23,7 +23,7 @@ func ErrorDistributionDef(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
 				return sweep.Values{"err": r.MaxErr}
 			},
 		})
@@ -284,7 +284,7 @@ func AblationClockFactorDef(n int, factors []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: fmt.Sprintf("%s/cf=%d", id, f), N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
 				return sweep.Values{"err": r.MaxErr, "time": r.Time}
 			},
 		})
@@ -324,7 +324,7 @@ func AblationEpochFactorDef(n int, factors []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: fmt.Sprintf("%s/ef=%d", id, f), N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
 				return sweep.Values{
 					"err":  r.MaxErr,
 					"k":    float64(cfg.EpochTarget(uint8(r.LogSize2))),
@@ -371,7 +371,7 @@ func AblationNoRestartDef(n int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: fmt.Sprintf("%s/restart=%s", id, labels[disable]), N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend()})
+				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
 				return sweep.Values{"err": r.MaxErr, "converged": sweep.Bool(r.Converged)}
 			},
 		})

@@ -10,6 +10,8 @@ import (
 	"math/rand/v2"
 	"strings"
 	"testing"
+
+	"github.com/popsim/popsize/internal/stats"
 )
 
 // allBackends enumerates the concrete backends for churn tests.
@@ -83,12 +85,11 @@ func TestChurnRemovalMarginals(t *testing.T) {
 				}
 			}
 			for i, c := range counts {
-				mean := removed[i] / trials
 				want := float64(k) * float64(c) / float64(total)
 				// Hypergeometric SE per trial, 5 SE over the trial mean.
 				se := math.Sqrt(want * float64(total-c) / total * float64(total-k) / (total - 1) / trials)
-				if math.Abs(mean-want) > 5*se+0.05 {
-					t.Errorf("state %d: mean removed %.3f, want %.3f ± %.3f", states[i], mean, want, 5*se+0.05)
+				if err := stats.MeanNear(removed[i]/trials, want, 5*se, 0.05); err != nil {
+					t.Errorf("state %d: mean removed: %v", states[i], err)
 				}
 			}
 		})

@@ -11,6 +11,7 @@
 package pop_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"reflect"
@@ -26,25 +27,36 @@ import (
 
 // equivBackends are the engines under comparison: the sequential engine
 // is the reference, every other backend's metric distribution must match
-// it. Seed offsets keep the backends' trial streams disjoint.
+// it. Seed offsets keep the backends' trial streams disjoint. The par
+// variants run the node-seeded splitter sampling path (pop.
+// WithParallelism), whose draws differ from the legacy chains' and so
+// need their own distributional check against the reference.
 var equivBackends = []struct {
 	backend pop.Backend
+	par     int
 	seedOff uint64
 }{
-	{pop.Sequential, 1},
-	{pop.Batched, 2},
-	{pop.Dense, 3},
+	{pop.Sequential, 0, 1},
+	{pop.Batched, 0, 2},
+	{pop.Dense, 0, 3},
+	{pop.Batched, 2, 4},
+	{pop.Dense, 2, 5},
 }
 
-// meansAgree applies the Welch-style check to two samples.
+// label names an equivalence variant in failure messages.
+func label(backend pop.Backend, par int) string {
+	if par > 0 {
+		return fmt.Sprintf("%v/par=%d", backend, par)
+	}
+	return backend.String()
+}
+
+// meansAgree applies the shared Welch-tolerance check (stats.WelchAgree,
+// 5 standard errors plus the caller's absolute slack) to two samples.
 func meansAgree(t *testing.T, what string, ref, got []float64, absSlack float64) {
 	t.Helper()
-	sa, sb := stats.Summarize(ref), stats.Summarize(got)
-	se := math.Sqrt(sa.Std*sa.Std/float64(sa.N) + sb.Std*sb.Std/float64(sb.N))
-	tol := 5*se + absSlack
-	if d := math.Abs(sa.Mean - sb.Mean); d > tol {
-		t.Errorf("%s: backend means differ: seq %.4f vs %.4f (|Δ|=%.4f > tol %.4f)",
-			what, sa.Mean, sb.Mean, d, tol)
+	if err := stats.WelchAgree(ref, got, 5, absSlack); err != nil {
+		t.Errorf("%s: %v", what, err)
 	}
 }
 
@@ -65,13 +77,14 @@ func TestEquivalenceCoreProtocol(t *testing.T) {
 	p := core.MustNew(equivConfig())
 	const trials = 12
 	for _, n := range []int{300, 1000, 2000} {
-		run := func(backend pop.Backend, seedOff uint64) (times, ests []float64) {
+		run := func(backend pop.Backend, par int, seedOff uint64) (times, ests []float64) {
 			times = make([]float64, trials)
 			ests = make([]float64, trials)
 			pop.RunTrials(trials, 0, func(tr int) struct{} {
 				r := p.Run(n, core.RunOptions{
-					Seed:    seedOff + uint64(tr)*7717,
-					Backend: backend,
+					Seed:        seedOff + uint64(tr)*7717,
+					Backend:     backend,
+					Parallelism: par,
 				})
 				if !r.Converged {
 					t.Errorf("n=%d backend=%v trial %d did not converge", n, backend, tr)
@@ -85,15 +98,15 @@ func TestEquivalenceCoreProtocol(t *testing.T) {
 			})
 			return times, ests
 		}
-		seqT, seqE := run(equivBackends[0].backend, equivBackends[0].seedOff)
+		seqT, seqE := run(equivBackends[0].backend, 0, equivBackends[0].seedOff)
 		logN := math.Log2(float64(n))
 		for _, eb := range equivBackends[1:] {
-			bT, bE := run(eb.backend, eb.seedOff)
-			meansAgree(t, "core convergence time vs "+eb.backend.String(),
+			bT, bE := run(eb.backend, eb.par, eb.seedOff)
+			meansAgree(t, "core convergence time vs "+label(eb.backend, eb.par),
 				seqT, bT, 0.05*stats.Summarize(seqT).Mean)
-			meansAgree(t, "core estimate vs "+eb.backend.String(), seqE, bE, 0.5)
+			meansAgree(t, "core estimate vs "+label(eb.backend, eb.par), seqE, bE, 0.5)
 			if m := stats.Summarize(bE).Mean; math.Abs(m-logN) > 6 {
-				t.Errorf("n=%d %v: mean estimate %.2f far from log2 n = %.2f", n, eb.backend, m, logN)
+				t.Errorf("n=%d %s: mean estimate %.2f far from log2 n = %.2f", n, label(eb.backend, eb.par), m, logN)
 			}
 		}
 		if m := stats.Summarize(seqE).Mean; math.Abs(m-logN) > 6 {
@@ -107,10 +120,10 @@ func TestEquivalenceCoreProtocol(t *testing.T) {
 func TestEquivalenceEpidemic(t *testing.T) {
 	const trials = 24
 	for _, n := range []int{500, 2000, 8000} {
-		run := func(backend pop.Backend, seedOff uint64) []float64 {
+		run := func(backend pop.Backend, par int, seedOff uint64) []float64 {
 			return pop.RunTrials(trials, 0, func(tr int) float64 {
 				s := epidemic.NewEngine(n, 1, pop.WithSeed(seedOff+uint64(tr)*271),
-					pop.WithBackend(backend))
+					pop.WithBackend(backend), pop.WithParallelism(par))
 				at, ok := epidemic.CompletionTime(s, 1e5)
 				if !ok {
 					t.Errorf("n=%d backend=%v trial %d: epidemic timed out", n, backend, tr)
@@ -118,10 +131,10 @@ func TestEquivalenceEpidemic(t *testing.T) {
 				return at
 			})
 		}
-		seq := run(equivBackends[0].backend, equivBackends[0].seedOff+10)
+		seq := run(equivBackends[0].backend, 0, equivBackends[0].seedOff+10)
 		for _, eb := range equivBackends[1:] {
-			got := run(eb.backend, eb.seedOff+10)
-			meansAgree(t, "epidemic completion time vs "+eb.backend.String(), seq, got, 0.5)
+			got := run(eb.backend, eb.par, eb.seedOff+10)
+			meansAgree(t, "epidemic completion time vs "+label(eb.backend, eb.par), seq, got, 0.5)
 		}
 	}
 }
@@ -138,10 +151,10 @@ func TestEquivalenceExactCount(t *testing.T) {
 	p := exactcount.New(3)
 	const trials = 12
 	for _, n := range []int{100, 250, 500} {
-		run := func(backend pop.Backend, seedOff uint64) []float64 {
+		run := func(backend pop.Backend, par int, seedOff uint64) []float64 {
 			return pop.RunTrials(trials, 0, func(tr int) float64 {
 				s := p.NewEngine(n, pop.WithSeed(seedOff+uint64(tr)*911),
-					pop.WithBackend(backend))
+					pop.WithBackend(backend), pop.WithParallelism(par))
 				ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
 				if !ok {
 					t.Errorf("n=%d backend=%v trial %d: never terminated", n, backend, tr)
@@ -152,10 +165,10 @@ func TestEquivalenceExactCount(t *testing.T) {
 				return at
 			})
 		}
-		seq := run(equivBackends[0].backend, equivBackends[0].seedOff+20)
+		seq := run(equivBackends[0].backend, 0, equivBackends[0].seedOff+20)
 		for _, eb := range equivBackends[1:] {
-			got := run(eb.backend, eb.seedOff+20)
-			meansAgree(t, "exact-count termination time vs "+eb.backend.String(),
+			got := run(eb.backend, eb.par, eb.seedOff+20)
+			meansAgree(t, "exact-count termination time vs "+label(eb.backend, eb.par),
 				seq, got, 0.1*stats.Summarize(seq).Mean)
 		}
 	}
@@ -181,14 +194,15 @@ func TestEquivalenceChurnTrajectory(t *testing.T) {
 		}
 		return rec, sen
 	}
-	run := func(backend pop.Backend, seedOff uint64) (infected, times []float64) {
+	run := func(backend pop.Backend, par int, seedOff uint64) (infected, times []float64) {
 		infected = make([]float64, trials)
 		times = make([]float64, trials)
 		pop.RunTrials(trials, 0, func(tr int) struct{} {
 			e := pop.NewEngineFromCounts(
 				[]epidemic.State{{Val: 1, Member: true}, {Val: 0, Member: true}},
 				[]int64{40, n0 - 40}, oneWay,
-				pop.WithSeed(seedOff+uint64(tr)*613), pop.WithBackend(backend))
+				pop.WithSeed(seedOff+uint64(tr)*613), pop.WithBackend(backend),
+				pop.WithParallelism(par))
 			churn.Apply(e, sched, epidemic.State{Member: true}, 10, 0, nil)
 			if e.N() != wantN {
 				t.Errorf("backend=%v trial %d: final n=%d, want %d", backend, tr, e.N(), wantN)
@@ -199,14 +213,14 @@ func TestEquivalenceChurnTrajectory(t *testing.T) {
 		})
 		return infected, times
 	}
-	seqI, seqT := run(equivBackends[0].backend, equivBackends[0].seedOff+30)
+	seqI, seqT := run(equivBackends[0].backend, 0, equivBackends[0].seedOff+30)
 	for _, eb := range equivBackends[1:] {
-		gotI, gotT := run(eb.backend, eb.seedOff+30)
-		meansAgree(t, "churned epidemic infected count vs "+eb.backend.String(),
+		gotI, gotT := run(eb.backend, eb.par, eb.seedOff+30)
+		meansAgree(t, "churned epidemic infected count vs "+label(eb.backend, eb.par),
 			seqI, gotI, 0.02*float64(wantN))
 		// Segmented parallel time is deterministic up to 1/n quanta: every
 		// backend must land on the same horizon.
-		meansAgree(t, "churned trajectory end time vs "+eb.backend.String(), seqT, gotT, 0.05)
+		meansAgree(t, "churned trajectory end time vs "+label(eb.backend, eb.par), seqT, gotT, 0.05)
 	}
 }
 
@@ -221,12 +235,13 @@ func TestEquivalenceChurnCoreProtocol(t *testing.T) {
 	}
 	p := core.MustNew(equivConfig())
 	const n0, trials = 500, 12
-	run := func(backend pop.Backend, seedOff uint64) []float64 {
+	run := func(backend pop.Backend, par int, seedOff uint64) []float64 {
 		ests := make([]float64, trials)
 		pop.RunTrials(trials, 0, func(tr int) struct{} {
 			e := pop.NewEngineFromCounts(
 				[]core.State{core.Initial()}, []int64{n0}, p.Rule,
-				pop.WithSeed(seedOff+uint64(tr)*409), pop.WithBackend(backend))
+				pop.WithSeed(seedOff+uint64(tr)*409), pop.WithBackend(backend),
+				pop.WithParallelism(par))
 			churn.Apply(e, churn.Doubling(n0, 8), core.Initial(), 10, 0, nil)
 			ok, _ := e.RunUntil(p.Converged, 4, p.DefaultMaxTime(2*n0))
 			if !ok {
@@ -237,13 +252,13 @@ func TestEquivalenceChurnCoreProtocol(t *testing.T) {
 		})
 		return ests
 	}
-	seqE := run(equivBackends[0].backend, equivBackends[0].seedOff+40)
+	seqE := run(equivBackends[0].backend, 0, equivBackends[0].seedOff+40)
 	logN := math.Log2(float64(2 * n0))
 	for _, eb := range equivBackends[1:] {
-		gotE := run(eb.backend, eb.seedOff+40)
-		meansAgree(t, "churned core estimate vs "+eb.backend.String(), seqE, gotE, 0.5)
+		gotE := run(eb.backend, eb.par, eb.seedOff+40)
+		meansAgree(t, "churned core estimate vs "+label(eb.backend, eb.par), seqE, gotE, 0.5)
 		if m := stats.Summarize(gotE).Mean; math.Abs(m-logN) > 6 {
-			t.Errorf("%v: churned mean estimate %.2f far from log2(2n) = %.2f", eb.backend, m, logN)
+			t.Errorf("%s: churned mean estimate %.2f far from log2(2n) = %.2f", label(eb.backend, eb.par), m, logN)
 		}
 	}
 }

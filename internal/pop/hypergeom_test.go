@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"testing"
+
+	"github.com/popsim/popsize/internal/stats"
 )
 
 // TestHypergeometricEdges pins the degenerate parameter combinations.
@@ -175,13 +177,12 @@ func TestMultivariateHypergeometricMoments(t *testing.T) {
 		}
 	}
 	for i, c := range counts {
-		mean := sums[i] / trials
 		want := float64(m) * float64(c) / float64(total)
 		// Hypergeometric variance bound /trials gives SE ≈ 0.01–0.03 here;
 		// 5 SE with slack.
 		se := math.Sqrt(want * float64(total-c) / float64(total) / trials)
-		if math.Abs(mean-want) > 5*se+0.05 {
-			t.Errorf("class %d: mean %.3f, want %.3f ± %.3f", i, mean, want, 5*se+0.05)
+		if err := stats.MeanNear(sums[i]/trials, want, 5*se, 0.05); err != nil {
+			t.Errorf("class %d: %v", i, err)
 		}
 	}
 }

@@ -1,0 +1,460 @@
+// Tests of the deterministic intra-trial parallelism layer: worker-count
+// invariance (the headline guarantee — `-par 1` and `-par 16` are
+// byte-identical), splitter distribution checks against the sequential
+// chains, the oversubscription cap, and the fork-join budget.
+package pop
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/popsim/popsize/internal/stats"
+)
+
+// shrinkSplitter makes the splitter recurse and fork at test-scale
+// populations: tiny leaves, tiny fork threshold, and enough GOMAXPROCS
+// that effectiveWorkers does not collapse to 1 on a small CI machine.
+// The leaf knobs change where node streams are consumed, so every run
+// compared within one test must execute under the same shrink.
+func shrinkSplitter(t *testing.T) {
+	t.Helper()
+	oldLeaf, oldFork, oldChunk, oldClasses, oldMass := seqLeafSlots, parMinForkItems, pairChunkSlots, mvhLeafClasses, splitLeafMass
+	oldProcs := runtime.GOMAXPROCS(4)
+	seqLeafSlots, parMinForkItems, pairChunkSlots, mvhLeafClasses, splitLeafMass = 8, 4, 8, 2, 16
+	t.Cleanup(func() {
+		seqLeafSlots, parMinForkItems, pairChunkSlots, mvhLeafClasses, splitLeafMass = oldLeaf, oldFork, oldChunk, oldClasses, oldMass
+		runtime.GOMAXPROCS(oldProcs)
+	})
+}
+
+func TestResolveParallelism(t *testing.T) {
+	if got := resolveParallelism(0, parAutoMinN-1); got != 0 {
+		t.Errorf("auto below threshold: %d, want 0 (legacy)", got)
+	}
+	if got := resolveParallelism(0, parAutoMinN); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("auto above threshold: %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, p := range []int{1, 2, 7} {
+		if got := resolveParallelism(p, 100); got != p {
+			t.Errorf("explicit par %d at tiny n: %d, want %d", p, got, p)
+		}
+	}
+}
+
+func TestEffectiveWorkersFor(t *testing.T) {
+	cases := []struct {
+		par, maxprocs, trialWorkers, want int
+	}{
+		{1, 8, 1, 1},   // serial target stays serial
+		{8, 8, 1, 8},   // sole trial gets the machine
+		{8, 8, 4, 2},   // 4 trial workers × 2 intra = GOMAXPROCS
+		{8, 8, 8, 1},   // fully subscribed sweep: no intra fan-out
+		{8, 8, 100, 1}, // oversubscribed sweep still floors at 1
+		{16, 8, 0, 8},  // unregistered (no sweep) caps at GOMAXPROCS
+		{2, 8, 2, 2},   // target below budget is honored
+		{0, 8, 1, 1},   // non-positive target is serial
+	}
+	for _, c := range cases {
+		if got := effectiveWorkersFor(c.par, c.maxprocs, c.trialWorkers); got != c.want {
+			t.Errorf("effectiveWorkersFor(%d, %d, %d) = %d, want %d",
+				c.par, c.maxprocs, c.trialWorkers, got, c.want)
+		}
+	}
+}
+
+// TestMVHSplitCompInvariants: for arbitrary shapes the splitter's
+// composition must conserve the sample size and respect per-class bounds,
+// and must be a pure function of the seed (worker-count independent).
+func TestMVHSplitCompInvariants(t *testing.T) {
+	shrinkSplitter(t)
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 300; trial++ {
+		q := 1 + r.IntN(40)
+		counts := make([]int64, q)
+		var total int64
+		for i := range counts {
+			if r.IntN(4) == 0 {
+				continue // zero classes must be handled
+			}
+			counts[i] = int64(r.IntN(1000))
+			total += counts[i]
+		}
+		if total == 0 {
+			continue
+		}
+		m := int64(r.IntN(int(total + 1)))
+		seed := r.Uint64()
+		draw := func(workers int) []int64 {
+			dst := make([]int64, q)
+			cum := prefixSums(nil, counts)
+			g := newParGroup(workers)
+			mvhSplitComp(g, seed, 1, counts, cum, 0, q, total, m, dst)
+			g.wait()
+			return dst
+		}
+		serial := draw(1)
+		parallel := draw(4)
+		var sum int64
+		for i, k := range serial {
+			if k < 0 || k > counts[i] {
+				t.Fatalf("trial %d: class %d drew %d of %d", trial, i, k, counts[i])
+			}
+			sum += k
+			if parallel[i] != k {
+				t.Fatalf("trial %d: worker count changed the draw: class %d %d vs %d",
+					trial, i, k, parallel[i])
+			}
+		}
+		if sum != m {
+			t.Fatalf("trial %d: drew %d of m=%d", trial, sum, m)
+		}
+	}
+}
+
+// TestMVHSplitCompMoments: the splitter's per-class marginals must match
+// the multivariate hypergeometric expectation m·c_i/N, like the
+// sequential chain's (hypergeom_test.go).
+func TestMVHSplitCompMoments(t *testing.T) {
+	shrinkSplitter(t)
+	counts := []int64{60, 25, 10, 5}
+	const total, m, trials = int64(100), int64(20), 20000
+	r := rand.New(rand.NewPCG(7, 8))
+	cum := prefixSums(nil, counts)
+	sums := make([]float64, len(counts))
+	dst := make([]int64, len(counts))
+	for trial := 0; trial < trials; trial++ {
+		for i := range dst {
+			dst[i] = 0
+		}
+		mvhSplitComp(nil, r.Uint64(), 1, counts, cum, 0, len(counts), total, m, dst)
+		for i, k := range dst {
+			sums[i] += float64(k)
+		}
+	}
+	for i, c := range counts {
+		want := float64(m) * float64(c) / float64(total)
+		se := math.Sqrt(want * float64(total-c) / float64(total) / trials)
+		if err := stats.MeanNear(sums[i]/trials, want, 5*se, 0.05); err != nil {
+			t.Errorf("class %d: %v", i, err)
+		}
+	}
+}
+
+// TestMultisetSeqSplitArrangement: the recursive arrangement must contain
+// exactly the input multiset, be worker-count independent, and pair slots
+// (2i, 2i+1) with the uniform-pairing law — the AB-ordered-pair rate of a
+// two-class multiset must match 2·ka·kb/(m(m−1))·(m/2) in expectation.
+func TestMultisetSeqSplitArrangement(t *testing.T) {
+	shrinkSplitter(t)
+	const ka, kb = int64(70), int64(58)
+	m := ka + kb
+	out := make([]int32, m)
+	r := rand.New(rand.NewPCG(5, 6))
+	var abPairs, trials float64
+	for trial := 0; trial < 4000; trial++ {
+		seed := r.Uint64()
+		comp := []int64{ka, kb}
+		g := newParGroup(3)
+		multisetSeqSplit(g, seed, 1, comp, out)
+		g.wait()
+		// Worker-count independence: rerun serially on a fresh comp.
+		comp2 := []int64{ka, kb}
+		out2 := make([]int32, m)
+		multisetSeqSplit(nil, seed, 1, comp2, out2)
+		var na, nb int64
+		for i, id := range out {
+			if out2[i] != id {
+				t.Fatalf("trial %d: worker count changed the arrangement at slot %d", trial, i)
+			}
+			if id == 0 {
+				na++
+			} else {
+				nb++
+			}
+		}
+		if na != ka || nb != kb {
+			t.Fatalf("trial %d: arrangement lost the multiset: %d/%d, want %d/%d", trial, na, nb, ka, kb)
+		}
+		for i := int64(0); i < m; i += 2 {
+			if out[i] == 0 && out[i+1] == 1 {
+				abPairs++
+			}
+		}
+		trials++
+	}
+	fm := float64(m)
+	wantPerTrial := (fm / 2) * 2 * float64(ka) * float64(kb) / (fm * (fm - 1)) / 2
+	// Var per trial is below m/4; 5 SE with a small absolute slack.
+	se := math.Sqrt(fm / 4 / trials)
+	if err := stats.MeanNear(abPairs/trials, wantPerTrial, 5*se, 0.05); err != nil {
+		t.Errorf("AB-ordered-pair rate: %v", err)
+	}
+}
+
+// parSignature summarizes everything observable about an engine run that
+// the worker-count invariance suite compares: the exact end configuration,
+// the interaction count, segmented parallel time, and state accounting.
+func parSignature[S comparable](e Engine[S]) string {
+	counts := e.Counts()
+	keys := make([]string, 0, len(counts))
+	for s, c := range counts {
+		keys = append(keys, fmt.Sprintf("%v=%d", s, c))
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("counts=%v n=%d i=%d t=%.12f d=%d",
+		keys, e.N(), e.Interactions(), e.Time(), e.DistinctStates())
+}
+
+// TestWorkerCountInvariance is the headline determinism guarantee: a
+// pinned-seed run at -par 1 and -par 8 (and 2, and 7) produces identical
+// end configurations and segment times on both multiset backends, for a
+// deterministic rule, a randomness-consuming rule, and a mid-run churn
+// schedule.
+func TestWorkerCountInvariance(t *testing.T) {
+	shrinkSplitter(t)
+	rules := map[string]Rule[int]{"am": amRule, "coin": coinRule, "max": maxRule}
+	backends := map[string]func(n int, rule Rule[int], par int) Engine[int]{
+		"batch": func(n int, rule Rule[int], par int) Engine[int] {
+			return NewBatch(n, func(i int, _ *rand.Rand) int { return i % 5 }, rule,
+				WithSeed(42), WithParallelism(par))
+		},
+		"dense": func(n int, rule Rule[int], par int) Engine[int] {
+			return NewDense(n, func(i int, _ *rand.Rand) int { return i % 5 }, rule,
+				WithSeed(42), WithParallelism(par))
+		},
+	}
+	const n = 3000
+	pars := []int{1, 2, 7, 8, runtime.GOMAXPROCS(0)}
+	for bname, mk := range backends {
+		for rname, rule := range rules {
+			t.Run(bname+"/"+rname, func(t *testing.T) {
+				var want string
+				for _, par := range pars {
+					e := mk(n, rule, par)
+					e.Run(6 * n)
+					e.AddAgents(1, n/2) // churn: join wave
+					e.Run(2 * n)
+					e.RemoveAgents(n) // churn: heavy leave
+					e.Run(4 * n)
+					got := parSignature[int](e)
+					if want == "" {
+						want = got
+					} else if got != want {
+						t.Fatalf("par=%d diverged:\n got %s\nwant %s", par, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkerCountInvarianceDelegation runs the dense engine across its
+// delegation boundary (n distinct initial states force an immediate
+// hand-off to the inner BatchSim; the epidemic re-concentrates and
+// re-enters dense mode) with churn landing mid-delegation. Every par
+// value must take the identical trajectory, including the inner engine's.
+func TestWorkerCountInvarianceDelegation(t *testing.T) {
+	shrinkSplitter(t)
+	const n = 1200
+	var want string
+	for _, par := range []int{1, 2, 7} {
+		d := NewDense(n, func(i int, _ *rand.Rand) int { return i }, maxRule,
+			WithSeed(9), WithDenseThreshold(48), WithParallelism(par))
+		d.Run(int64(n)) // delegates immediately: n distinct states
+		if !d.Delegated() {
+			t.Fatal("engine did not delegate with n distinct initial states")
+		}
+		d.AddAgents(7, 300)
+		d.RemoveAgents(200)
+		d.Run(20 * int64(n)) // max-epidemic concentrates; re-enters dense mode
+		if d.Delegated() {
+			t.Fatal("engine never re-entered dense mode")
+		}
+		got := parSignature[int](d)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("par=%d diverged across delegation:\n got %s\nwant %s", par, got, want)
+		}
+	}
+}
+
+// TestSplitPairTypeExpectation is TestDensePairTypeExpectation on the
+// splitter path, for both multiset backends: within one batch every
+// interaction is marginally a uniform ordered pair, so the one-way
+// epidemic's per-interaction infection rate must equal (S/n)·(I/(n−1)).
+// This is the observable that catches receiver/sender conditioning bugs
+// in the pre-drawn sender block and its row distribution.
+func TestSplitPairTypeExpectation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pair-type expectation estimation is not short")
+	}
+	shrinkSplitter(t)
+	// Inline execution: the pairing law cannot depend on scheduling, and
+	// forking every tiny batch of 10⁴ trials would cost minutes of pure
+	// goroutine overhead (the fork path is covered by the invariance
+	// suites). The shrunken leaf knobs stay — they are what make the
+	// splitter recurse at this scale.
+	parMinForkItems = 1 << 11
+	const n, inf, trials = 2000, 40, 6000
+	initial := func(i int, _ *rand.Rand) int {
+		if i < inf {
+			return 1
+		}
+		return 0
+	}
+	for _, backend := range []string{"batch", "dense"} {
+		t.Run(backend, func(t *testing.T) {
+			var newInf, done float64
+			for tr := 0; tr < trials; tr++ {
+				seed := uint64(tr)*13 + 5
+				var e Engine[int]
+				var ran int64
+				if backend == "dense" {
+					d := NewDense(n, initial, oneWayEpidemic, WithSeed(seed), WithParallelism(2))
+					ran = d.runBatch(1 << 20)
+					e = d
+				} else {
+					b := NewBatch(n, initial, oneWayEpidemic, WithSeed(seed), WithParallelism(2))
+					ran = b.runBatch(1 << 20)
+					e = b
+				}
+				done += float64(ran)
+				newInf += float64(e.Count(func(s int) bool { return s == 1 }) - inf)
+			}
+			got := newInf / done
+			want := (float64(n-inf) / n) * (float64(inf) / float64(n-1))
+			// ~5 SE of the per-batch estimator is well under 10% relative at
+			// this trial count; the historical suffix bug sat at −51%.
+			if math.Abs(got-want) > 0.1*want {
+				t.Errorf("infections per interaction = %.6f, want %.6f ± 10%%", got, want)
+			}
+		})
+	}
+}
+
+// TestRemoveCountsSplitMarginals: the splitter-path removal must keep the
+// multivariate hypergeometric per-state marginals k·c_i/N, like the chain
+// it replaces.
+func TestRemoveCountsSplitMarginals(t *testing.T) {
+	shrinkSplitter(t)
+	// Inline execution: forking a 200-item removal 3000 times costs more
+	// in scheduling than it tests (the fork path is exercised by the
+	// invariance suites); what matters here is the splitter's law.
+	parMinForkItems = 1 << 11
+	states := []int{0, 1, 2, 3}
+	counts := []int64{600, 250, 100, 50}
+	const total, k, trials = 1000, 200, 3000
+	for _, be := range []Backend{Batched, Dense} {
+		t.Run(be.String(), func(t *testing.T) {
+			removed := make([]float64, len(states))
+			for tr := 0; tr < trials; tr++ {
+				e := NewEngineFromCounts(states, counts, amRule,
+					WithSeed(uint64(tr)*31+uint64(be)), WithBackend(be), WithParallelism(2))
+				before := e.Counts()
+				e.RemoveAgents(k)
+				after := e.Counts()
+				for i, s := range states {
+					removed[i] += float64(before[s] - after[s])
+				}
+			}
+			for i, c := range counts {
+				want := float64(k) * float64(c) / float64(total)
+				se := math.Sqrt(want * float64(total-c) / total * float64(total-k) / (total - 1) / trials)
+				if err := stats.MeanNear(removed[i]/trials, want, 5*se, 0.05); err != nil {
+					t.Errorf("state %d: %v", states[i], err)
+				}
+			}
+		})
+	}
+}
+
+// TestNestedTrialsNoOversubscription: a sweep of RunTrials workers whose
+// trials each run a -par GOMAXPROCS engine must not multiply the two
+// levels into W·P goroutines — the intra-trial budget divides by the
+// registered trial workers, keeping the process near GOMAXPROCS total.
+func TestNestedTrialsNoOversubscription(t *testing.T) {
+	shrinkSplitter(t)
+	maxprocs := runtime.GOMAXPROCS(0)
+	const trialWorkers = 4
+	base := runtime.NumGoroutine()
+	var peak atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				close(done)
+				return
+			default:
+				if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+					peak.Store(g)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	pop := func(tr int) int {
+		e := NewBatch(4000, func(i int, _ *rand.Rand) int { return i % 3 }, amRule,
+			WithSeed(uint64(tr)), WithParallelism(maxprocs))
+		e.Run(40000)
+		return e.Count(func(s int) bool { return s == 1 })
+	}
+	RunTrials(16, trialWorkers, pop)
+	done <- struct{}{}
+	// Budget: trial workers + their capped intra-trial forks (≤ GOMAXPROCS
+	// extra in total) + the sampler and test harness overhead. Quadratic
+	// spawning (trialWorkers × GOMAXPROCS each) would blow far past this.
+	bound := int64(base + trialWorkers + maxprocs + 8)
+	if p := peak.Load(); p > bound {
+		t.Errorf("peak goroutines %d exceeds composed-parallelism bound %d", p, bound)
+	}
+	// And the cap itself, as the pure rule states it:
+	if got := effectiveWorkersFor(maxprocs, maxprocs, trialWorkers); got > max(1, maxprocs/trialWorkers) {
+		t.Errorf("effectiveWorkersFor leaked %d workers per trial", got)
+	}
+}
+
+// TestParGroupBudget: the fork-join helper never runs more than the
+// region's worker count concurrently, and a nil group runs inline.
+func TestParGroupBudget(t *testing.T) {
+	const workers = 3
+	g := newParGroup(workers)
+	var cur, peak atomic.Int64
+	var ran atomic.Int64
+	body := func() {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		ran.Add(1)
+	}
+	for i := 0; i < 50; i++ {
+		g.fork(body)
+	}
+	g.wait()
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50 forks", ran.Load())
+	}
+	// The forking goroutine itself plus workers-1 extras.
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker budget %d", p, workers)
+	}
+	var inline int64
+	(*parGroup)(nil).fork(func() { inline = 1 })
+	(*parGroup)(nil).wait()
+	if inline != 1 {
+		t.Error("nil parGroup did not run the body inline")
+	}
+}

@@ -100,13 +100,4 @@ func TestASCIIPlotLogX(t *testing.T) {
 	}
 }
 
-func TestParallelTrialsOrder(t *testing.T) {
-	got := ParallelTrials(50, func(i int) float64 { return float64(i * i) })
-	for i, v := range got {
-		if v != float64(i*i) {
-			t.Fatalf("trial %d = %v, want %v", i, v, float64(i*i))
-		}
-	}
-}
-
 func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// sample draws n values of mean·(1 + small noise) from a seeded PRNG so
+// the pass/fail cases are deterministic.
+func sample(seed uint64, n int, mean, spread float64) []float64 {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mean + spread*(2*r.Float64()-1)
+	}
+	return xs
+}
+
+func TestWelchAgreeSameDistribution(t *testing.T) {
+	a := sample(1, 200, 10, 2)
+	b := sample(2, 200, 10, 2)
+	if err := WelchAgree(a, b, 5, 0); err != nil {
+		t.Errorf("same-distribution samples rejected: %v", err)
+	}
+}
+
+func TestWelchAgreeDetectsShift(t *testing.T) {
+	a := sample(3, 200, 10, 2)
+	b := sample(4, 200, 11, 2) // shift of ~6 standard errors of the mean
+	err := WelchAgree(a, b, 5, 0)
+	if err == nil {
+		t.Fatal("shifted means accepted")
+	}
+	if !strings.Contains(err.Error(), "means differ") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestWelchAgreeAbsSlackRescuesSmallShift(t *testing.T) {
+	a := sample(5, 200, 10, 2)
+	b := sample(6, 200, 10.5, 2)
+	if err := WelchAgree(a, b, 5, 0); err == nil {
+		t.Fatal("shift within slack but beyond SE tolerance should fail without slack")
+	}
+	if err := WelchAgree(a, b, 5, 1); err != nil {
+		t.Errorf("absolute slack of 1 should absorb a 0.5 shift: %v", err)
+	}
+}
+
+func TestWelchAgreeUnequalVariances(t *testing.T) {
+	// Welch's SE must widen with the noisier sample: a wide-spread sample
+	// with the same mean agrees, while the same shift that a tight pair
+	// rejects is absorbed by the wide pair's SE.
+	tightA, tightB := sample(7, 100, 10, 0.5), sample(8, 100, 10.4, 0.5)
+	wideA, wideB := sample(9, 100, 10, 8), sample(10, 100, 10.4, 8)
+	if err := WelchAgree(tightA, tightB, 5, 0); err == nil {
+		t.Error("tight samples with a 0.4 shift should disagree")
+	}
+	if err := WelchAgree(wideA, wideB, 5, 0); err != nil {
+		t.Errorf("wide samples with a 0.4 shift should agree: %v", err)
+	}
+}
+
+func TestWelchAgreeEmptySample(t *testing.T) {
+	if err := WelchAgree(nil, []float64{1}, 5, 100); err == nil {
+		t.Error("empty ref accepted")
+	}
+	if err := WelchAgree([]float64{1}, nil, 5, 100); err == nil {
+		t.Error("empty got accepted")
+	}
+}
+
+func TestMeanNear(t *testing.T) {
+	if err := MeanNear(10.2, 10, 0.3, 0); err != nil {
+		t.Errorf("within tolerance rejected: %v", err)
+	}
+	if err := MeanNear(10.2, 10, 0.1, 0.05); err == nil {
+		t.Error("outside tolerance accepted")
+	}
+	if err := MeanNear(10.2, 10, 0.1, 0.15); err != nil {
+		t.Errorf("absolute slack not applied: %v", err)
+	}
+}

@@ -228,6 +228,29 @@ func TestResumeRejectsForeignCheckpoint(t *testing.T) {
 	if _, err := Run(other, Options{Done: done}); err == nil {
 		t.Error("auto-backend checkpoint accepted by a batch-backend sweep")
 	}
+	// A -par 0 checkpoint resumed by a -par >= 1 sweep (or vice versa)
+	// must be rejected: the legacy and splitter sampling paths take
+	// different trajectories for the same seed.
+	parred := testSpec(1)
+	parred.Par = 4
+	if _, err := Run(parred, Options{Done: done}); err == nil {
+		t.Error("-par 0 checkpoint accepted by a -par 4 sweep")
+	}
+	// Within the splitter class the trajectory is worker-count
+	// independent, so two nonzero -par values are compatible.
+	src := testSpec(1)
+	src.Par = 2
+	res, err := Run(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := map[Key]Record{}
+	for _, r := range res.Sorted() {
+		done2[r.Key] = r
+	}
+	if _, err := Run(parred, Options{Done: done2}); err != nil {
+		t.Errorf("-par 2 checkpoint rejected by a -par 4 sweep: %v", err)
+	}
 }
 
 func TestLoadCheckpointTolerance(t *testing.T) {

@@ -61,6 +61,16 @@
 // Multi-trial experiments parallelize across goroutines with
 // pop.RunTrials.
 //
+// A single trial also parallelizes: RunOptions.Parallelism (the
+// commands' -par flag) switches the multiset engines' hot sampling
+// paths to a divide-and-conquer splitter that fans out across cores
+// while deriving all randomness from (seed, tree-node path) rather than
+// worker identity — any Parallelism >= 1 produces the byte-identical
+// trajectory, so parallel runs remain exactly reproducible. The default
+// (0) enables it with a GOMAXPROCS worker target above n = 2²⁴ and
+// keeps the legacy serial samplers below; trial-level and intra-trial
+// workers are jointly capped at GOMAXPROCS.
+//
 // # Dynamic populations
 //
 // All three engines support join/leave churn between interactions —
@@ -160,9 +170,9 @@ func WeakEstimate(n int, seed uint64) (k int, err error) {
 }
 
 // WeakEstimateBackend is WeakEstimate on an explicitly chosen simulation
-// backend.
-func WeakEstimateBackend(n int, seed uint64, backend pop.Backend) (k int, err error) {
-	s := approxsize.NewEngine(n, pop.WithSeed(seed), pop.WithBackend(backend))
+// backend; extra engine options (e.g. pop.WithParallelism) append.
+func WeakEstimateBackend(n int, seed uint64, backend pop.Backend, opts ...pop.Option) (k int, err error) {
+	s := approxsize.NewEngine(n, append([]pop.Option{pop.WithSeed(seed), pop.WithBackend(backend)}, opts...)...)
 	logN := math.Log2(float64(n))
 	ok, _ := s.RunUntil(approxsize.Converged, 1, 200*logN+100)
 	if !ok {
