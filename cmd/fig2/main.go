@@ -90,6 +90,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	expt.SetBackend(be)
 	expt.SetParallelism(sf.Par)
+	// Trajectory instrumentation (-history/-snapshot/-restore) applies to
+	// every F2 trial, with artifact paths tag-suffixed per (n, trial).
+	if err := expt.ConfigureTrajectory(sf); err != nil {
+		return err
+	}
 
 	cfg := core.FastConfig()
 	if *paper {

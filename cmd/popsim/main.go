@@ -30,7 +30,9 @@ import (
 
 	"github.com/popsim/popsize"
 	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/expt"
 	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/stats"
 	"github.com/popsim/popsize/internal/sweep"
 )
 
@@ -89,6 +91,20 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if traj := sf.History != "" || sf.Snapshot != "" || sf.Restore != ""; traj && *protocol != "main" {
+		return fmt.Errorf("-history/-snapshot/-restore instrument the main protocol only (got -protocol %s)", *protocol)
+	}
+	if sf.Restore != "" && *trials != 1 {
+		return fmt.Errorf("-restore resumes one specific run; use -trials 1 (got %d)", *trials)
+	}
+	if err := expt.ConfigureTrajectory(sf); err != nil {
+		return err
+	}
+	if tc := expt.Trajectory(); tc != nil && tc.Restore != nil {
+		// The snapshot carries the population; the -n flag is ignored.
+		*n = tc.Restore.N
+		fmt.Fprintf(stdout, "restoring from %s: backend=%s n=%d\n", sf.Restore, tc.Restore.Backend, tc.Restore.N)
+	}
 
 	logN := math.Log2(float64(*n))
 	fmt.Fprintf(stdout, "protocol=%s n=%d log2(n)=%.3f trials=%d\n", *protocol, *n, logN, *trials)
@@ -99,7 +115,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var box errBox
-	r, err := runner(*protocol, cfg, *n, backend, sf.Par, &box)
+	r, err := runner(*protocol, cfg, *n, *trials, backend, sf.Par, &box)
 	if err != nil {
 		return err
 	}
@@ -127,21 +143,60 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "trial %d: %s\n", t, r.format(rec.Values))
 	}
+	if tc := expt.Trajectory(); tc != nil && tc.HistoryPath != "" && *trials == 1 {
+		if err := printTrajectory(stdout, tc.HistoryFile("")); err != nil {
+			return err
+		}
+	}
 	_ = core.Initial // documents that popsim sits atop the same core package
 	return nil
 }
 
-func runner(protocol string, cfg popsize.Config, n int, backend pop.Backend, par int, box *errBox) (protocolRunner, error) {
+// printTrajectory reads a just-written history JSONL stream back and
+// renders its per-sample digest table (reading through sweep.ReadHistory
+// keeps the CLI on the same decoder any downstream tooling would use).
+func printTrajectory(stdout io.Writer, path string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	recs, err := sweep.ReadHistory(fh)
+	if err != nil {
+		return fmt.Errorf("reading back history %s: %w", path, err)
+	}
+	pts := make([]stats.TrajPoint, len(recs))
+	for i, rec := range recs {
+		live, top := stats.TrajDigest(rec.Config, rec.N)
+		pts[i] = stats.TrajPoint{
+			Time: rec.Time, N: rec.N, Interactions: rec.Interactions,
+			Live: live, TopShare: top,
+		}
+	}
+	fmt.Fprintln(stdout)
+	table := stats.TrajectoryTable("Trajectory ("+path+")", pts)
+	fmt.Fprint(stdout, table.Markdown())
+	return nil
+}
+
+func runner(protocol string, cfg popsize.Config, n, trials int, backend pop.Backend, par int, box *errBox) (protocolRunner, error) {
 	logN := math.Log2(float64(n))
 	switch protocol {
 	case "main":
-		est, err := popsize.New(cfg)
+		p, err := core.New(cfg)
 		if err != nil {
 			return protocolRunner{}, err
 		}
 		return protocolRunner{
 			run: func(tr int, seed uint64) sweep.Values {
-				r := est.Run(n, popsize.RunOptions{Seed: seed, Backend: backend, Parallelism: par})
+				tag := ""
+				if trials > 1 {
+					tag = fmt.Sprintf("t%d", tr)
+				}
+				r, err := expt.RunCore(p, n, tag, core.RunOptions{Seed: seed, Backend: backend, Parallelism: par})
+				if err != nil {
+					box.set(fmt.Errorf("trial %d: %w", tr, err))
+				}
 				return sweep.Values{
 					"converged": sweep.Bool(r.Converged), "time": r.Time,
 					"estimate": r.Estimate, "countA": float64(r.CountA),

@@ -6,9 +6,12 @@ package main
 import (
 	"bytes"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/popsim/popsize/internal/sweep"
 )
 
 func TestRunRejectsUnknownProtocol(t *testing.T) {
@@ -95,5 +98,118 @@ func TestRunParDeterminism(t *testing.T) {
 	}
 	if outs["1"] != outs["3"] {
 		t.Errorf("-par 1 and -par 3 disagree:\n%s\nvs\n%s", outs["1"], outs["3"])
+	}
+}
+
+// TestRunTrajectoryFlagValidation: the single-run instrumentation flags
+// are main-protocol-only, and -restore pins -trials 1.
+func TestRunTrajectoryFlagValidation(t *testing.T) {
+	err := run([]string{"-protocol", "weak", "-n", "64", "-trials", "1",
+		"-history", filepath.Join(t.TempDir(), "h.jsonl")}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "main protocol only") {
+		t.Fatalf("err = %v, want main-protocol-only error", err)
+	}
+	err = run([]string{"-protocol", "main", "-n", "64", "-trials", "2",
+		"-restore", "nope.json"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-trials 1") {
+		t.Fatalf("err = %v, want trials-1 error", err)
+	}
+	err = run([]string{"-protocol", "main", "-n", "64", "-trials", "1",
+		"-restore", filepath.Join(t.TempDir(), "missing.json")}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-restore") {
+		t.Fatalf("err = %v, want restore-read error", err)
+	}
+	err = run([]string{"-protocol", "main", "-n", "64", "-trials", "1",
+		"-history", filepath.Join(t.TempDir(), "h.jsonl"), "-history-dt", "-1"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-history-dt") {
+		t.Fatalf("err = %v, want history-dt error", err)
+	}
+}
+
+// TestRunHistoryAndSnapshotRestore is the CLI-level acceptance check: a
+// -history run emits valid JSONL on the requested Δ grid whose final
+// configuration covers the whole population, and a run restored from a
+// mid-run -snapshot finishes byte-identical to the uninterrupted run.
+func TestRunHistoryAndSnapshotRestore(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "hist.jsonl")
+	mid := filepath.Join(dir, "mid.json")
+	finalA := filepath.Join(dir, "final_a.json")
+	finalB := filepath.Join(dir, "final_b.json")
+	const n = 400
+	base := []string{"-protocol", "main", "-n", "400", "-trials", "1", "-seed", "7", "-backend", "batch"}
+
+	// Uninterrupted run, snapshot at the end.
+	var bufA bytes.Buffer
+	if err := run(append(base, "-snapshot", finalA), &bufA); err != nil {
+		t.Fatalf("full run failed: %v\n%s", err, bufA.String())
+	}
+	// Same run with a history stream and a mid-run snapshot. The history
+	// changes the run's chunking (statistically identical, not
+	// byte-identical), so the restore comparison uses its own mid snapshot
+	// from a history-free run below.
+	var bufH bytes.Buffer
+	if err := run(append(base, "-history", hist, "-history-dt", "2.5"), &bufH); err != nil {
+		t.Fatalf("history run failed: %v\n%s", err, bufH.String())
+	}
+	if !strings.Contains(bufH.String(), "Trajectory (") {
+		t.Errorf("single-trial history run did not render the trajectory table:\n%s", bufH.String())
+	}
+	fh, err := os.Open(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sweep.ReadHistory(fh)
+	fh.Close()
+	if err != nil {
+		t.Fatalf("history stream unreadable: %v", err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("history has %d records, want several", len(recs))
+	}
+	if recs[0].Time != 0 || recs[0].Interactions != 0 {
+		t.Errorf("first history sample %+v not at the run start", recs[0])
+	}
+	for i, r := range recs {
+		total := 0.0
+		for _, c := range r.Config {
+			total += c
+		}
+		if total != float64(n) {
+			t.Fatalf("history record %d: configuration sums to %v, want %d", i, total, n)
+		}
+		// Interior samples sit on the Δ grid (the engine overshoots by at
+		// most a couple of interactions = 2/n time units).
+		if i > 0 && i < len(recs)-1 {
+			d := r.Time - float64(i)*2.5
+			if d < 0 || d > 2.0/float64(n)+1e-9 {
+				t.Fatalf("history record %d at t=%v, want on the Δ=2.5 grid", i, r.Time)
+			}
+		}
+	}
+
+	// Mid-run snapshot from a history-free run, then restore and finish.
+	var bufM bytes.Buffer
+	if err := run(append(base, "-snapshot", mid, "-snapshot-at", "20"), &bufM); err != nil {
+		t.Fatalf("mid-snapshot run failed: %v\n%s", err, bufM.String())
+	}
+	var bufR bytes.Buffer
+	if err := run([]string{"-protocol", "main", "-trials", "1",
+		"-restore", mid, "-snapshot", finalB}, &bufR); err != nil {
+		t.Fatalf("restored run failed: %v\n%s", err, bufR.String())
+	}
+	if !strings.Contains(bufR.String(), "restoring from") {
+		t.Errorf("restored run did not announce the snapshot:\n%s", bufR.String())
+	}
+	a, err := os.ReadFile(finalA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(finalB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("restore-then-run final snapshot differs from the uninterrupted run's")
 	}
 }

@@ -1,0 +1,142 @@
+package churn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// TrackCheckpointVersion is the current tracker-checkpoint format version;
+// it bumps independently of pop.SnapshotVersion (the nested engine
+// snapshot carries its own).
+const TrackCheckpointVersion = 1
+
+// TrackCheckpoint is the serializable mid-run state of a tracked
+// population: the tracker's own loop state (global clock offset, restart
+// bookkeeping, the held estimate) plus a versioned snapshot of the engine
+// it was driving. Captured by TrackerConfig.CheckpointSink at the end of a
+// tick; ResumeTrack continues from it with the same schedule and config
+// such that the resumed samples equal the uninterrupted run's samples
+// after At.
+type TrackCheckpoint struct {
+	Version int `json:"version"`
+	// At is the global parallel time of the capturing tick.
+	At float64 `json:"at"`
+	// Offset is the global time already elapsed on pre-restart engines
+	// (tracker time = Offset + engine time).
+	Offset float64 `json:"offset"`
+	// LastRestart and Restarts are the restart bookkeeping; Seed is the
+	// Track seed, kept here because per-restart engine seeds derive from
+	// (Seed, restart ordinal).
+	LastRestart float64 `json:"last_restart"`
+	Restarts    int     `json:"restarts"`
+	Seed        uint64  `json:"seed"`
+	// Held and AdoptedAt carry the tracker's output state; both are NaN
+	// before the first adoption, which JSON numbers cannot encode — hence
+	// the string-fallback jsonFloat wrapper.
+	Held      jsonFloat `json:"held"`
+	AdoptedAt jsonFloat `json:"adopted_at"`
+	// Engine is the driven engine's own versioned snapshot.
+	Engine *pop.Snapshot[core.State] `json:"engine"`
+}
+
+// checkpoint captures the tracker's state at the end of the tick at global
+// time t. Engine snapshots fail only if the state type does not marshal,
+// which core.State always does, so a failure here is a programming error.
+func (tr *tracker) checkpoint(t float64) *TrackCheckpoint {
+	snap, err := tr.e.Snapshot()
+	if err != nil {
+		panic(fmt.Sprintf("churn: snapshotting tracked engine: %v", err))
+	}
+	return &TrackCheckpoint{
+		Version:     TrackCheckpointVersion,
+		At:          t,
+		Offset:      tr.offset,
+		LastRestart: tr.lastRestart,
+		Restarts:    tr.restarts,
+		Seed:        tr.seed,
+		Held:        jsonFloat(tr.held),
+		AdoptedAt:   jsonFloat(tr.adoptedAt),
+		Engine:      snap,
+	}
+}
+
+// Marshal renders the checkpoint as deterministic JSON.
+func (c *TrackCheckpoint) Marshal() ([]byte, error) { return json.Marshal(c) }
+
+// UnmarshalTrackCheckpoint parses a checkpoint and validates its version.
+func UnmarshalTrackCheckpoint(data []byte) (*TrackCheckpoint, error) {
+	var c TrackCheckpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("churn: parsing checkpoint: %w", err)
+	}
+	if c.Version != TrackCheckpointVersion {
+		return nil, fmt.Errorf("churn: checkpoint version %d (this build reads %d)",
+			c.Version, TrackCheckpointVersion)
+	}
+	return &c, nil
+}
+
+// WriteTrackCheckpointFile writes the checkpoint to path as one JSON line.
+func WriteTrackCheckpointFile(path string, c *TrackCheckpoint) error {
+	data, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadTrackCheckpointFile reads a checkpoint written by
+// WriteTrackCheckpointFile.
+func ReadTrackCheckpointFile(path string) (*TrackCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalTrackCheckpoint(data)
+}
+
+// jsonFloat is a float64 whose JSON form falls back to the strings "NaN",
+// "+Inf" and "-Inf" for the values encoding/json rejects as numbers — the
+// same convention sweep.Values uses for its record streams (not imported
+// here to keep churn's dependency surface at core+pop).
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("churn: non-finite float marker %q: %w", s, err)
+		}
+		*f = jsonFloat(v)
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}

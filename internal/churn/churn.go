@@ -211,14 +211,32 @@ func Apply[S comparable](e pop.Engine[S], sched Schedule, join S, until, tickEve
 func drive(sched Schedule, until, tickEvery float64,
 	now func() float64, run func(dt float64), step func(),
 	event func(Event), tick func(t float64)) {
+	driveFrom(sched, math.Inf(-1), until, tickEvery, now, run, step, event, tick)
+}
+
+// driveFrom is drive resuming mid-schedule: events at or before `from`
+// are treated as already fired, and the tick grid — always the multiples
+// of tickEvery, rebuilt by repeated addition exactly as the live loop
+// advances it — restarts at the first point past `from`. ResumeTrack uses
+// it with from = the checkpoint time; drive passes -Inf (nothing skipped).
+// now() must already report a time of at least `from` when called.
+func driveFrom(sched Schedule, from, until, tickEvery float64,
+	now func() float64, run func(dt float64), step func(),
+	event func(Event), tick func(t float64)) {
 	if err := sched.Validate(); err != nil {
 		panic(err)
 	}
 	nextTick := math.Inf(1)
 	if tick != nil && tickEvery > 0 {
 		nextTick = tickEvery
+		for nextTick <= from+timeEps {
+			nextTick += tickEvery
+		}
 	}
 	i := 0
+	for i < len(sched) && sched[i].At <= from+timeEps {
+		i++
+	}
 	for t := now(); t < until-timeEps; t = now() {
 		next := until
 		if i < len(sched) && sched[i].At < next {

@@ -244,3 +244,79 @@ func TestTrackDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// sameF64 compares float64s treating NaN as equal to NaN (bitwise intent:
+// checkpointed values must survive the JSON round trip exactly).
+func sameF64(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestTrackCheckpointResume: a tracked run checkpointed mid-flight and
+// resumed (through the full serialize/parse round trip) must reproduce the
+// uninterrupted run's post-checkpoint samples exactly — the churn-level
+// extension of the engines' restore-then-run byte-identity.
+func TestTrackCheckpointResume(t *testing.T) {
+	const n = 200
+	const until = 600.0
+	const ckAt = 250.0
+	sched := Merge(Step(n, 5e-4, 5, until), Doubling(n, 150), Halving(2*n, 400))
+	for _, be := range []pop.Backend{pop.Sequential, pop.Batched} {
+		cfg := TrackerConfig{Protocol: trackConfig(), Backend: be, RefreshEvery: 120}
+		var ck *TrackCheckpoint
+		ckCfg := cfg
+		ckCfg.CheckpointAt = ckAt
+		ckCfg.CheckpointSink = func(c *TrackCheckpoint) { ck = c }
+		full := Track(ckCfg, n, sched, 31, until)
+		if ck == nil {
+			t.Fatalf("backend %v: checkpoint sink never called", be)
+		}
+		if ck.At < ckAt {
+			t.Fatalf("backend %v: checkpoint at %g, want >= %g", be, ck.At, ckAt)
+		}
+		blob, err := ck.Marshal()
+		if err != nil {
+			t.Fatalf("backend %v: marshal: %v", be, err)
+		}
+		parsed, err := UnmarshalTrackCheckpoint(blob)
+		if err != nil {
+			t.Fatalf("backend %v: unmarshal: %v", be, err)
+		}
+		resumed, err := ResumeTrack(cfg, parsed, sched, until)
+		if err != nil {
+			t.Fatalf("backend %v: resume: %v", be, err)
+		}
+		var tail []Sample
+		for _, s := range full.Samples {
+			if s.At > ck.At+timeEps {
+				tail = append(tail, s)
+			}
+		}
+		if len(tail) == 0 {
+			t.Fatalf("backend %v: no post-checkpoint samples to compare", be)
+		}
+		if len(resumed.Samples) != len(tail) {
+			t.Fatalf("backend %v: resumed %d samples, uninterrupted tail has %d",
+				be, len(resumed.Samples), len(tail))
+		}
+		for i := range tail {
+			x, y := tail[i], resumed.Samples[i]
+			same := x.At == y.At && x.N == y.N && x.Restarts == y.Restarts &&
+				sameF64(x.Estimate, y.Estimate) && sameF64(x.Err, y.Err) &&
+				sameF64(x.AdoptedAt, y.AdoptedAt)
+			if !same {
+				t.Fatalf("backend %v: post-checkpoint sample %d diverged:\n full:   %+v\n resumed:%+v",
+					be, i, x, y)
+			}
+		}
+		if resumed.FinalN != full.FinalN || resumed.Restarts != full.Restarts {
+			t.Errorf("backend %v: resumed FinalN/Restarts %d/%d, want %d/%d",
+				be, resumed.FinalN, resumed.Restarts, full.FinalN, full.Restarts)
+		}
+		// A stale checkpoint version must be rejected, not misread.
+		parsed.Version = 99
+		if _, err := ResumeTrack(cfg, parsed, sched, until); err == nil {
+			t.Errorf("backend %v: version-99 checkpoint accepted", be)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/popsim/popsize/internal/core"
@@ -45,6 +46,14 @@ type TrackerConfig struct {
 	// not reproduced here) a stale over-estimate is only corrected by
 	// re-running. 0 disables refreshes.
 	RefreshEvery float64
+	// CheckpointSink, when non-nil, receives one TrackCheckpoint captured
+	// at the end of the first tick at or after global time CheckpointAt —
+	// the tracker's own state plus a versioned snapshot of the current
+	// engine. ResumeTrack continues a tracked run from it such that the
+	// resumed samples match the uninterrupted run's post-checkpoint
+	// samples exactly.
+	CheckpointSink func(*TrackCheckpoint)
+	CheckpointAt   float64
 }
 
 // Sample is one tick's observation of the tracked population.
@@ -145,11 +154,69 @@ func (r Result) DetectionLatency(eventAt, errTol float64) (detect, settle float6
 // protocol-level global restart) with a fresh seed derived from the
 // restart ordinal; global time continues across the rebuild.
 func Track(cfg TrackerConfig, n0 int, sched Schedule, seed uint64, until float64) Result {
+	tr := newTracker(cfg, seed)
+	tr.spawn(n0)
+	drive(sched, until, tr.tickEvery, tr.now, tr.run, tr.step, tr.event, tr.tick)
+	return tr.finish()
+}
+
+// ResumeTrack continues a tracked run from a checkpoint captured by a
+// CheckpointSink: the caller supplies the same TrackerConfig, schedule,
+// seed (carried in the checkpoint) and horizon as the original Track call,
+// and receives a Result whose samples are exactly the uninterrupted run's
+// samples after the checkpoint time. Aggregates (MeanAbsErr, MaxAbsErr)
+// likewise cover only the resumed window.
+func ResumeTrack(cfg TrackerConfig, ck *TrackCheckpoint, sched Schedule, until float64) (Result, error) {
+	if ck.Version != TrackCheckpointVersion {
+		return Result{}, fmt.Errorf("churn: checkpoint version %d (this build reads %d)",
+			ck.Version, TrackCheckpointVersion)
+	}
+	if ck.Engine == nil {
+		return Result{}, fmt.Errorf("churn: checkpoint has no engine snapshot")
+	}
+	tr := newTracker(cfg, ck.Seed)
+	e, err := pop.Restore(ck.Engine, tr.p.Rule)
+	if err != nil {
+		return Result{}, fmt.Errorf("churn: restoring checkpointed engine: %w", err)
+	}
+	tr.e = e
+	tr.offset = ck.Offset
+	tr.lastRestart = ck.LastRestart
+	tr.restarts = ck.Restarts
+	tr.held = float64(ck.Held)
+	tr.adoptedAt = float64(ck.AdoptedAt)
+	tr.ckDone = true // never re-checkpoint a resumed run
+	driveFrom(sched, ck.At, until, tr.tickEvery, tr.now, tr.run, tr.step, tr.event, tr.tick)
+	return tr.finish(), nil
+}
+
+// tracker is the mutable state behind Track/ResumeTrack: the engine plus
+// everything the detect-and-restart loop carries across ticks — exactly
+// the fields a TrackCheckpoint serializes.
+type tracker struct {
+	cfg              TrackerConfig
+	p                *core.Protocol
+	tickEvery, xfrac float64
+	seed             uint64
+
+	e           pop.Engine[core.State]
+	offset      float64 // global time already elapsed on previous engines
+	lastRestart float64
+	restarts    int
+	held        float64
+	adoptedAt   float64
+
+	res    Result
+	errSum float64
+	errN   int
+	ckDone bool
+}
+
+func newTracker(cfg TrackerConfig, seed uint64) *tracker {
 	pcfg := cfg.Protocol
 	if pcfg == (core.Config{}) {
 		pcfg = core.FastConfig()
 	}
-	p := core.MustNew(pcfg)
 	tickEvery := cfg.TickEvery
 	if tickEvery <= 0 {
 		tickEvery = 1
@@ -158,83 +225,89 @@ func Track(cfg TrackerConfig, n0 int, sched Schedule, seed uint64, until float64
 	if xfrac == 0 {
 		xfrac = DefaultXFrac
 	}
-
-	restarts := 0
-	var e pop.Engine[core.State]
-	spawn := func(size int) {
-		e = pop.NewEngineFromCounts(
-			[]core.State{core.Initial()}, []int64{int64(size)}, p.Rule,
-			pop.WithSeed(pop.TrialSeed(seed, "churn/restart", restarts)),
-			pop.WithBackend(cfg.Backend), pop.WithParallelism(cfg.Parallelism))
+	return &tracker{
+		cfg: cfg, p: core.MustNew(pcfg), tickEvery: tickEvery, xfrac: xfrac,
+		seed: seed, held: math.NaN(), adoptedAt: math.NaN(),
+		res:    Result{MeanAbsErr: math.NaN(), MaxAbsErr: math.NaN()},
+		ckDone: cfg.CheckpointSink == nil,
 	}
-	spawn(n0)
-	offset := 0.0 // global time already elapsed on previous engines
-	lastRestart := 0.0
-	// doRestart replaces the engine with a fresh all-initial one of the
-	// current size, keeping the global clock continuous.
-	doRestart := func(at float64) {
-		size := e.N()
-		offset = at
-		restarts++
-		lastRestart = at
-		spawn(size)
-	}
-	held := math.NaN()
-	adoptedAt := math.NaN()
-	res := Result{MeanAbsErr: math.NaN(), MaxAbsErr: math.NaN()}
-	errSum, errN := 0.0, 0
+}
 
-	drive(sched, until, tickEvery,
-		func() float64 { return offset + e.Time() },
-		func(dt float64) { e.RunTime(dt) },
-		func() { e.Step() },
-		func(ev Event) {
-			if ev.Join > 0 {
-				e.AddAgents(core.Initial(), ev.Join)
-			}
-			if ev.Leave > 0 {
-				e.RemoveAgents(ev.Leave)
-			}
-		},
-		func(t float64) {
-			n := e.N()
-			// Observe: adopt a new estimate only when the latest run's
-			// output has reached every agent, else keep holding.
-			st := core.Estimates(e)
-			if st.HaveOutput == n {
-				held = st.Mean
-				adoptedAt = t
-			}
-			errv := math.NaN()
-			if !math.IsNaN(held) {
-				errv = math.Abs(held - math.Log2(float64(n)))
-				errSum += errv
-				errN++
-				if math.IsNaN(res.MaxAbsErr) || errv > res.MaxAbsErr {
-					res.MaxAbsErr = errv
-				}
-			}
-			// Detect. The undecided-fraction signal is suppressed during
-			// the post-restart warmup, while the restart's own undecided
-			// agents are still being partitioned.
-			switch {
-			case xfrac >= 0 && t-lastRestart > warmupFactor*math.Log2(float64(n)) &&
-				float64(e.Count(undecided)) > xfrac*float64(n):
-				doRestart(t)
-			case cfg.RefreshEvery > 0 && t-lastRestart >= cfg.RefreshEvery-timeEps:
-				doRestart(t)
-			}
-			res.Samples = append(res.Samples, Sample{
-				At: t, N: n, Estimate: held, Err: errv,
-				AdoptedAt: adoptedAt, Restarts: restarts})
-		})
+func (tr *tracker) spawn(size int) {
+	tr.e = pop.NewEngineFromCounts(
+		[]core.State{core.Initial()}, []int64{int64(size)}, tr.p.Rule,
+		pop.WithSeed(pop.TrialSeed(tr.seed, "churn/restart", tr.restarts)),
+		pop.WithBackend(tr.cfg.Backend), pop.WithParallelism(tr.cfg.Parallelism))
+}
 
-	res.Restarts = restarts
-	res.FinalN = e.N()
-	if errN > 0 {
-		res.MeanAbsErr = errSum / float64(errN)
+// doRestart replaces the engine with a fresh all-initial one of the
+// current size, keeping the global clock continuous.
+func (tr *tracker) doRestart(at float64) {
+	size := tr.e.N()
+	tr.offset = at
+	tr.restarts++
+	tr.lastRestart = at
+	tr.spawn(size)
+}
+
+func (tr *tracker) now() float64   { return tr.offset + tr.e.Time() }
+func (tr *tracker) run(dt float64) { tr.e.RunTime(dt) }
+func (tr *tracker) step()          { tr.e.Step() }
+func (tr *tracker) event(ev Event) {
+	if ev.Join > 0 {
+		tr.e.AddAgents(core.Initial(), ev.Join)
 	}
-	return res
+	if ev.Leave > 0 {
+		tr.e.RemoveAgents(ev.Leave)
+	}
+}
+
+func (tr *tracker) tick(t float64) {
+	n := tr.e.N()
+	// Observe: adopt a new estimate only when the latest run's output has
+	// reached every agent, else keep holding.
+	st := core.Estimates(tr.e)
+	if st.HaveOutput == n {
+		tr.held = st.Mean
+		tr.adoptedAt = t
+	}
+	errv := math.NaN()
+	if !math.IsNaN(tr.held) {
+		errv = math.Abs(tr.held - math.Log2(float64(n)))
+		tr.errSum += errv
+		tr.errN++
+		if math.IsNaN(tr.res.MaxAbsErr) || errv > tr.res.MaxAbsErr {
+			tr.res.MaxAbsErr = errv
+		}
+	}
+	// Detect. The undecided-fraction signal is suppressed during the
+	// post-restart warmup, while the restart's own undecided agents are
+	// still being partitioned.
+	switch {
+	case tr.xfrac >= 0 && t-tr.lastRestart > warmupFactor*math.Log2(float64(n)) &&
+		float64(tr.e.Count(undecided)) > tr.xfrac*float64(n):
+		tr.doRestart(t)
+	case tr.cfg.RefreshEvery > 0 && t-tr.lastRestart >= tr.cfg.RefreshEvery-timeEps:
+		tr.doRestart(t)
+	}
+	tr.res.Samples = append(tr.res.Samples, Sample{
+		At: t, N: n, Estimate: tr.held, Err: errv,
+		AdoptedAt: tr.adoptedAt, Restarts: tr.restarts})
+	// Checkpoint last, after any restart this tick performed, so the
+	// captured engine is the one the next tick will actually drive.
+	if !tr.ckDone && t >= tr.cfg.CheckpointAt-timeEps {
+		tr.ckDone = true
+		tr.cfg.CheckpointSink(tr.checkpoint(t))
+	}
+}
+
+func (tr *tracker) finish() Result {
+	tr.res.Restarts = tr.restarts
+	tr.res.FinalN = tr.e.N()
+	if tr.errN > 0 {
+		tr.res.MeanAbsErr = tr.errSum / float64(tr.errN)
+	}
+	return tr.res
 }
 
 // undecided reports the initial pre-partition role — the tracker's join

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -167,6 +168,26 @@ type RunOptions struct {
 	CheckEvery float64
 	// TrackStates enables distinct-state counting.
 	TrackStates bool
+
+	// History, when non-nil, records the run's sampled configuration
+	// trajectory (the observer is driven by the run; read its Samples
+	// afterwards).
+	History *pop.History[State]
+	// SnapshotSink, when non-nil, receives a versioned engine snapshot:
+	// taken at the first convergence-check boundary whose time is at
+	// least SnapshotAt, or at the end of the run if SnapshotAt <= 0 (or
+	// the run ends first). Snapshots align with check boundaries so a
+	// restored run's chunking — and therefore its byte-level trajectory —
+	// matches the uninterrupted one.
+	SnapshotSink func(*pop.Snapshot[State])
+	// SnapshotAt is the parallel time the snapshot targets (see
+	// SnapshotSink); <= 0 requests an end-of-run snapshot.
+	SnapshotAt float64
+	// Restore, when non-nil, resumes the run from this snapshot instead
+	// of constructing a fresh engine; Seed, Backend and Parallelism are
+	// ignored (they are part of the snapshot). The restored run gets a
+	// fresh MaxTime budget measured from the snapshot's time.
+	Restore *pop.Snapshot[State]
 }
 
 // DefaultMaxTime returns a convergence-time budget that the protocol meets
@@ -177,12 +198,27 @@ func (p *Protocol) DefaultMaxTime(n int) float64 {
 }
 
 // Run executes one complete trial on n agents and returns its Result.
+// With o.Restore set the trial resumes from the snapshot instead (n is
+// ignored; the snapshot carries the population). A malformed snapshot or a
+// snapshot that cannot be serialized panics — command-line front ends
+// validate snapshot files before reaching Run, so either is a programming
+// error here, not an input error.
 func (p *Protocol) Run(n int, o RunOptions) Result {
-	opts := []pop.Option{pop.WithSeed(o.Seed), pop.WithBackend(o.Backend), pop.WithParallelism(o.Parallelism)}
-	if o.TrackStates {
-		opts = append(opts, pop.WithStateTracking())
+	var s pop.Engine[State]
+	if o.Restore != nil {
+		var err error
+		s, err = pop.Restore(o.Restore, p.Rule)
+		if err != nil {
+			panic(fmt.Sprintf("core: restoring snapshot: %v", err))
+		}
+		n = s.N()
+	} else {
+		opts := []pop.Option{pop.WithSeed(o.Seed), pop.WithBackend(o.Backend), pop.WithParallelism(o.Parallelism)}
+		if o.TrackStates {
+			opts = append(opts, pop.WithStateTracking())
+		}
+		s = p.NewEngine(n, opts...)
 	}
-	s := p.NewEngine(n, opts...)
 	maxTime := o.MaxTime
 	if maxTime <= 0 {
 		maxTime = p.DefaultMaxTime(n)
@@ -191,7 +227,34 @@ func (p *Protocol) Run(n int, o RunOptions) Result {
 	if check <= 0 {
 		check = math.Max(1, math.Log2(float64(n)))
 	}
-	ok, at := s.RunUntil(p.Converged, check, maxTime)
+	pred := p.Converged
+	taken := false
+	if o.SnapshotSink != nil && o.SnapshotAt > 0 {
+		// Capture at the first convergence-check boundary at or past
+		// SnapshotAt, before evaluating convergence there: boundaries are
+		// where the engine's chunking realigns, so a run restored from this
+		// snapshot replays the rest of the trial byte-identically.
+		inner := pred
+		pred = func(e pop.Engine[State]) bool {
+			if !taken && e.Time() >= o.SnapshotAt {
+				taken = true
+				o.SnapshotSink(mustSnapshot(e))
+			}
+			return inner(e)
+		}
+	}
+	var ok bool
+	var at float64
+	if o.History != nil {
+		ok, at = o.History.RunUntil(s, pred, check, maxTime)
+	} else {
+		ok, at = s.RunUntil(pred, check, maxTime)
+	}
+	if o.SnapshotSink != nil && !taken {
+		// Either SnapshotAt <= 0 (end-of-run snapshot requested) or the run
+		// finished before reaching SnapshotAt; deliver the final state.
+		o.SnapshotSink(mustSnapshot(s))
+	}
 	est := Estimates(s)
 	return Result{
 		N:              n,
@@ -203,6 +266,14 @@ func (p *Protocol) Run(n int, o RunOptions) Result {
 		CountA:         s.Count(func(a State) bool { return a.Role == RoleA }),
 		LogSize2:       int(Maxima(s).LogSize2),
 	}
+}
+
+func mustSnapshot(e pop.Engine[State]) *pop.Snapshot[State] {
+	snap, err := e.Snapshot()
+	if err != nil {
+		panic(fmt.Sprintf("core: snapshotting engine: %v", err))
+	}
+	return snap
 }
 
 // NewSim constructs a ready-to-step sequential simulator for the protocol,

@@ -23,7 +23,7 @@ func TestRestartStorm(t *testing.T) {
 	}
 
 	// Inject: one agent learns a larger weak estimate.
-	snap := s.Snapshot()
+	snap := s.AgentStates()
 	newLS := snap[0].LogSize2 + 3
 	victim := snap[42]
 	victim.LogSize2 = newLS

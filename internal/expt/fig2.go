@@ -8,6 +8,7 @@
 package expt
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/popsim/popsize/internal/core"
@@ -35,7 +36,13 @@ func Fig2Def(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
+				r, err := RunCore(p, n, fmt.Sprintf("F2-n%d-t%d", n, tr),
+					core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
+				if err != nil {
+					// Artifact-file I/O only (the Result itself is valid);
+					// a worker goroutine has nowhere to return it.
+					panic(fmt.Sprintf("expt: F2 trajectory artifact: %v", err))
+				}
 				t := r.Time
 				if !r.Converged {
 					t = math.NaN()

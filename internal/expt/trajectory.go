@@ -1,0 +1,144 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
+)
+
+// TrajectoryConfig carries the single-run instrumentation requested on the
+// command line: a sampled-configuration history stream, a versioned engine
+// snapshot, and/or a snapshot to resume from. Like the backend selection it
+// is package-global (commands set it once before submitting trials), read
+// through an atomic pointer because trials execute on worker goroutines.
+type TrajectoryConfig struct {
+	// HistoryPath, when non-empty, streams each instrumented run's sampled
+	// trajectory (one sweep.HistoryRecord JSONL line every HistoryEvery
+	// parallel-time units) to this file, tag-suffixed per trial.
+	HistoryPath  string
+	HistoryEvery float64
+	// SnapshotPath, when non-empty, writes a versioned engine snapshot at
+	// parallel time SnapshotAt (<= 0: at run end), tag-suffixed per trial.
+	SnapshotPath string
+	SnapshotAt   float64
+	// Restore, when non-nil, resumes each instrumented run from this
+	// snapshot (parsed eagerly from RestorePath by ConfigureTrajectory).
+	RestorePath string
+	Restore     *pop.Snapshot[core.State]
+}
+
+// Active reports whether any instrumentation was requested.
+func (c *TrajectoryConfig) Active() bool {
+	return c != nil && (c.HistoryPath != "" || c.SnapshotPath != "" || c.Restore != nil)
+}
+
+// HistoryFile returns the tag-suffixed history path for one trial, or ""
+// when no history stream was requested.
+func (c *TrajectoryConfig) HistoryFile(tag string) string {
+	if c == nil || c.HistoryPath == "" {
+		return ""
+	}
+	return tagPath(c.HistoryPath, tag)
+}
+
+var trajectory atomic.Pointer[TrajectoryConfig]
+
+// SetTrajectory installs the trajectory instrumentation for subsequent
+// RunCore calls (nil disables it).
+func SetTrajectory(c *TrajectoryConfig) { trajectory.Store(c) }
+
+// Trajectory returns the active trajectory instrumentation (nil if none).
+func Trajectory() *TrajectoryConfig { return trajectory.Load() }
+
+// ConfigureTrajectory validates the shared trajectory flags and installs
+// the resulting config. The -restore snapshot file is parsed (and format-
+// checked) eagerly, so a malformed file fails the command before any trial
+// runs rather than panicking inside a worker.
+func ConfigureTrajectory(f *sweep.Flags) error {
+	c := &TrajectoryConfig{
+		HistoryPath:  f.History,
+		HistoryEvery: f.HistoryEvery,
+		SnapshotPath: f.Snapshot,
+		SnapshotAt:   f.SnapshotAt,
+		RestorePath:  f.Restore,
+	}
+	if c.HistoryPath != "" && (!(c.HistoryEvery > 0) || math.IsInf(c.HistoryEvery, 0)) {
+		return fmt.Errorf("-history-dt must be a positive finite interval (got %v)", c.HistoryEvery)
+	}
+	if f.Restore != "" {
+		snap, err := pop.ReadSnapshotFile[core.State](f.Restore)
+		if err != nil {
+			return fmt.Errorf("-restore: %w", err)
+		}
+		c.Restore = snap
+	}
+	SetTrajectory(c)
+	return nil
+}
+
+// tagPath inserts tag before the path's extension ("hist.jsonl", "t2" →
+// "hist.t2.jsonl"), or appends it when the final path element has none, so
+// concurrent trials never write through the same file name.
+func tagPath(path, tag string) string {
+	if tag == "" {
+		return path
+	}
+	if i := strings.LastIndexByte(path, '.'); i > strings.LastIndexByte(path, '/') {
+		return path[:i] + "." + tag + path[i:]
+	}
+	return path + "." + tag
+}
+
+// RunCore runs one trial of p through core.Run with the active trajectory
+// instrumentation applied: it attaches a history observer, points the
+// snapshot sink at the configured file, and swaps in the restore snapshot.
+// tag distinguishes concurrent trials' artifact files (empty = none). With
+// no instrumentation configured it is exactly p.Run. The returned error is
+// always an artifact-file I/O failure; the Result is valid either way.
+func RunCore(p *core.Protocol, n int, tag string, o core.RunOptions) (core.Result, error) {
+	c := Trajectory()
+	if !c.Active() {
+		return p.Run(n, o), nil
+	}
+	var hist *pop.History[core.State]
+	if c.HistoryPath != "" {
+		hist = pop.NewHistory[core.State](c.HistoryEvery)
+		o.History = hist
+	}
+	var snapErr error
+	if c.SnapshotPath != "" {
+		path := tagPath(c.SnapshotPath, tag)
+		o.SnapshotAt = c.SnapshotAt
+		o.SnapshotSink = func(s *pop.Snapshot[core.State]) {
+			if err := pop.WriteSnapshotFile(path, s); err != nil && snapErr == nil {
+				snapErr = fmt.Errorf("writing snapshot %s: %w", path, err)
+			}
+		}
+	}
+	o.Restore = c.Restore
+	r := p.Run(n, o)
+	if snapErr != nil {
+		return r, snapErr
+	}
+	if hist != nil {
+		path := tagPath(c.HistoryPath, tag)
+		fh, err := os.Create(path)
+		if err != nil {
+			return r, fmt.Errorf("creating history stream: %w", err)
+		}
+		werr := sweep.WriteHistory(fh, sweep.HistoryRecords(hist.Samples()))
+		if cerr := fh.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return r, fmt.Errorf("writing history %s: %w", path, werr)
+		}
+	}
+	return r, nil
+}

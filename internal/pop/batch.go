@@ -138,6 +138,7 @@ const (
 // algorithm. It is not safe for concurrent use; run independent trials on
 // independent values (e.g. via RunTrials).
 type BatchSim[S comparable] struct {
+	pcg       *rand.PCG // rng's source, retained for snapshotting
 	rng       *rand.Rand
 	ruleRand  *countingSource
 	ruleRng   *rand.Rand
@@ -202,6 +203,7 @@ func newBatchShell[S comparable](rule Rule[S], o options) *BatchSim[S] {
 	pcg := rand.NewPCG(o.seed, o.seed^0x9e3779b97f4a7c15)
 	cs := &countingSource{src: pcg}
 	b := &BatchSim[S]{
+		pcg:      pcg,
 		rng:      rand.New(pcg),
 		ruleRand: cs,
 		ruleRng:  rand.New(cs),

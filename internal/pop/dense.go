@@ -124,6 +124,7 @@ func defaultDenseThreshold(n int) int {
 // algorithm. It is not safe for concurrent use; run independent trials on
 // independent values (e.g. via RunTrials).
 type DenseSim[S comparable] struct {
+	pcg      *rand.PCG // rng's source, retained for snapshotting
 	rng      *rand.Rand
 	ruleRand *countingSource
 	ruleRng  *rand.Rand
@@ -241,6 +242,7 @@ func newDenseShell[S comparable](rule Rule[S], o options) *DenseSim[S] {
 	pcg := rand.NewPCG(o.seed, o.seed^0x9e3779b97f4a7c15)
 	cs := &countingSource{src: pcg}
 	d := &DenseSim[S]{
+		pcg:            pcg,
 		rng:            rand.New(pcg),
 		ruleRand:       cs,
 		ruleRng:        rand.New(cs),

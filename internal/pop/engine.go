@@ -104,6 +104,12 @@ type Engine[S comparable] interface {
 	// otherwise; the batched engine tracks states as a side effect of its
 	// representation and always reports them.
 	DistinctStates() int
+	// Snapshot captures the engine's full resumable state — configuration,
+	// interaction count, per-segment time accounting, rng stream, and
+	// mode (delegation/fallback) — as a versioned, serializable value.
+	// Restore rebuilds an engine from it such that restore-then-run is
+	// byte-identical to an uninterrupted run (see snapshot.go).
+	Snapshot() (*Snapshot[S], error)
 }
 
 var (

@@ -95,7 +95,7 @@ func TestSequentialCountsTrajectoryDeterminism(t *testing.T) {
 			t.Fatalf("checkpoint %d: trajectories diverged", i)
 		}
 	}
-	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+	if !reflect.DeepEqual(a.AgentStates(), b.AgentStates()) {
 		t.Error("final agent arrays differ")
 	}
 }

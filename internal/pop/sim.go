@@ -51,6 +51,7 @@ type Rule[S comparable] func(rec, sen S, r *rand.Rand) (recOut, senOut S)
 // scheduler. It is not safe for concurrent use; run independent trials on
 // independent Sim values.
 type Sim[S comparable] struct {
+	pcg          *rand.PCG // rng's source, retained for snapshotting
 	rng          *rand.Rand
 	agents       []S
 	rule         Rule[S]
@@ -79,12 +80,13 @@ func New[S comparable](n int, initial func(i int, r *rand.Rand) S, rule Rule[S],
 	for _, opt := range opts {
 		opt(&o)
 	}
-	rng := rand.New(rand.NewPCG(o.seed, o.seed^0x9e3779b97f4a7c15))
+	pcg := rand.NewPCG(o.seed, o.seed^0x9e3779b97f4a7c15)
+	rng := rand.New(pcg)
 	agents := make([]S, n)
 	for i := range agents {
 		agents[i] = initial(i, rng)
 	}
-	s := &Sim[S]{rng: rng, agents: agents, rule: rule}
+	s := &Sim[S]{pcg: pcg, rng: rng, agents: agents, rule: rule}
 	if o.trackStates {
 		s.seen = make(map[S]struct{}, 64)
 		for _, a := range agents {
@@ -172,15 +174,15 @@ func (s *Sim[S]) RemoveAgents(k int) {
 // Agent returns the current state of agent i.
 func (s *Sim[S]) Agent(i int) S { return s.agents[i] }
 
-// Snapshot returns a copy of the current configuration as a state slice.
-func (s *Sim[S]) Snapshot() []S {
+// AgentStates returns a copy of the current configuration as a state slice.
+func (s *Sim[S]) AgentStates() []S {
 	cp := make([]S, len(s.agents))
 	copy(cp, s.agents)
 	return cp
 }
 
 // Agents exposes the live agent slice for read-only scanning by convergence
-// predicates. Callers must not mutate it; use Snapshot for a safe copy.
+// predicates. Callers must not mutate it; use AgentStates for a safe copy.
 func (s *Sim[S]) Agents() []S { return s.agents }
 
 // Counts returns the configuration vector: the multiset of states present,

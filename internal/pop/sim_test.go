@@ -42,7 +42,7 @@ func TestDeterminism(t *testing.T) {
 	run := func() []pair {
 		s := New(10, func(i int, _ *rand.Rand) pair { return pair{V: i} }, countRule, WithSeed(99))
 		s.Run(1000)
-		return s.Snapshot()
+		return s.AgentStates()
 	}
 	a, b := run(), run()
 	for i := range a {
@@ -56,7 +56,7 @@ func TestSeedsDiffer(t *testing.T) {
 	run := func(seed uint64) []pair {
 		s := New(10, func(i int, _ *rand.Rand) pair { return pair{V: i} }, countRule, WithSeed(seed))
 		s.Run(100)
-		return s.Snapshot()
+		return s.AgentStates()
 	}
 	a, b := run(1), run(2)
 	same := true
@@ -173,7 +173,7 @@ func TestRunUntil(t *testing.T) {
 
 func TestSnapshotIsCopy(t *testing.T) {
 	s := New(3, func(i int, _ *rand.Rand) pair { return pair{V: i} }, countRule)
-	snap := s.Snapshot()
+	snap := s.AgentStates()
 	snap[0].V = 999
 	if s.Agent(0).V == 999 {
 		t.Error("mutating a snapshot mutated the simulation")

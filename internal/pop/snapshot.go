@@ -1,0 +1,559 @@
+// Versioned engine snapshot/restore.
+//
+// A Snapshot captures everything an engine needs to resume a run exactly
+// where it left off: the configuration (agent array or interned state
+// counts), the interaction count, the per-segment parallel-time
+// accounting, the rng stream state (rand.PCG's binary form — one PCG
+// underlies both the engine's own draws and the rule stream, so a single
+// blob covers both), the parallelism class, and the engine's mode
+// (BatchSim's sequential fallback, DenseSim's delegation, each with its
+// re-check budget). Restore rebuilds an engine from a snapshot such that
+// restore-then-run is byte-identical to the uninterrupted run, for every
+// backend and parallelism class, including snapshots taken mid-fallback
+// and mid-delegation.
+//
+// # What is deliberately NOT captured
+//
+// The deterministic-transition cache, its generation counter, and the
+// execution statistics (BatchStats/DenseStats) are excluded. The cache
+// holds only zero-randomness transitions, so a post-restore cold-cache
+// miss re-derives exactly the outputs a hit would have returned without
+// consuming the rule stream — cache state can never influence the
+// trajectory, only the hit/call statistics. Excluding it keeps snapshots
+// small (a 4 MiB table would dwarf a polylog(n)-state configuration) and
+// makes the byte-identity guarantee independent of cache history. The
+// interning table, by contrast, IS captured in full — including entries
+// whose count has dropped to zero — because the compaction trigger reads
+// the table length, so dropping dead entries would change when future
+// compactions fire.
+//
+// # Versioning and compatibility
+//
+// Snapshots are JSON (stable field order; the state type S must be
+// JSON-marshalable, which every protocol state in this repository is) and
+// carry a format version. UnmarshalSnapshot and Restore reject unknown
+// versions and malformed shapes; within a version, a snapshot is portable
+// across machines but pins the backend, the parallelism class, and —
+// implicitly, through the rng stream — the exact rule. Restoring with a
+// different rule is undetectable and yields a well-formed but meaningless
+// run, so callers must pair snapshots with the protocol that produced
+// them.
+package pop
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+)
+
+// SnapshotVersion is the current snapshot format version. Restore accepts
+// only snapshots carrying it; the version bumps whenever a field changes
+// meaning or a new field stops being optional.
+const SnapshotVersion = 1
+
+// Snapshot is the versioned, serializable full state of a simulation
+// engine. Fields beyond the common header apply only to the backends
+// noted; Marshal renders the whole value as JSON with a stable field
+// order, so equal engine states produce byte-identical snapshots.
+type Snapshot[S comparable] struct {
+	// Version is the snapshot format version (SnapshotVersion).
+	Version int `json:"version"`
+	// Backend is the engine kind ("seq", "batch" or "dense").
+	Backend string `json:"backend"`
+	// N is the population size.
+	N int `json:"n"`
+	// Interactions is the engine's own interaction count. For a delegated
+	// DenseSim this excludes the inner engine's share, which lives in
+	// Inner (Engine.Interactions reports their sum).
+	Interactions int64 `json:"interactions"`
+	// TimeBase and SegStart carry the per-segment parallel-time
+	// accounting (see Engine.Time): time accumulated over completed churn
+	// segments, and the interaction count at the current segment's start.
+	TimeBase float64 `json:"time_base"`
+	SegStart int64   `json:"seg_start"`
+	// RNG is the rand.PCG stream state (MarshalBinary form). The multiset
+	// engines' rule stream shares the same PCG, so one blob restores both.
+	RNG []byte `json:"rng"`
+	// Par is the resolved parallelism class: 0 = legacy serial samplers,
+	// >= 1 = node-seeded splitter path. It is restored verbatim — the two
+	// classes consume the random stream differently, so the class is part
+	// of the trajectory, not a tuning knob.
+	Par int `json:"par,omitempty"`
+
+	// Agents is the explicit agent array: the sequential engine's
+	// configuration, and the batched engine's while in its sequential
+	// fallback (where the counts vector is stale and therefore omitted).
+	Agents []S `json:"agents,omitempty"`
+	// TrackStates and Seen carry the sequential engine's distinct-state
+	// tracking: Seen holds every state observed so far, sorted by its
+	// JSON encoding so equal sets serialize identically.
+	TrackStates bool `json:"track_states,omitempty"`
+	Seen        []S  `json:"seen,omitempty"`
+	// ICounts carries the sequential engine's per-agent interaction
+	// counts (WithInteractionCounts), parallel to Agents.
+	ICounts []int64 `json:"icounts,omitempty"`
+
+	// States and Counts are the multiset engines' parallel interning
+	// tables, in id order and complete — including dead (zero-count)
+	// entries, which the compaction trigger depends on. Counts is omitted
+	// while the batched engine is in its sequential fallback (stale) and
+	// while the dense engine is delegated (the configuration lives in
+	// Inner).
+	States []S     `json:"states,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+	// Distinct is the number of distinct states ever observed (for a
+	// delegated DenseSim, excluding the inner engine's share beyond
+	// InnerBaseDistinct).
+	Distinct int `json:"distinct,omitempty"`
+	// QMax is the live-state threshold: BatchSim's fallback cutoff or
+	// DenseSim's delegation cutoff.
+	QMax int `json:"qmax,omitempty"`
+
+	// SeqMode and SeqRecheck capture BatchSim's sequential fallback: mode
+	// flag and interactions remaining until the next re-entry check.
+	SeqMode    bool  `json:"seq_mode,omitempty"`
+	SeqRecheck int64 `json:"seq_recheck,omitempty"`
+
+	// DenseSim extras: the WithDenseThreshold override (0 = rescale with
+	// n on churn), the batch threshold forwarded to delegated engines,
+	// and the raw WithParallelism value future delegations will resolve.
+	QMaxOverride   int `json:"qmax_override,omitempty"`
+	BatchThreshold int `json:"batch_threshold,omitempty"`
+	ParOption      int `json:"par_option,omitempty"`
+	// Inner is the delegated BatchSim's own snapshot; InnerRecheck and
+	// InnerBaseDistinct are the delegation bookkeeping around it.
+	Inner             *Snapshot[S] `json:"inner,omitempty"`
+	InnerRecheck      int64        `json:"inner_recheck,omitempty"`
+	InnerBaseDistinct int          `json:"inner_base_distinct,omitempty"`
+}
+
+// Marshal renders the snapshot as JSON. Field order is the struct order
+// and Seen is pre-sorted, so equal engine states marshal to identical
+// bytes — the property the round-trip tests and the CI byte-compare rely
+// on.
+func (s *Snapshot[S]) Marshal() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("pop: marshaling snapshot: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalSnapshot parses and validates a snapshot produced by Marshal.
+func UnmarshalSnapshot[S comparable](data []byte) (*Snapshot[S], error) {
+	var s Snapshot[S]
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("pop: unmarshaling snapshot: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// WriteSnapshotFile marshals the snapshot to path (0644).
+func WriteSnapshotFile[S comparable](path string, s *Snapshot[S]) error {
+	b, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadSnapshotFile reads and validates a snapshot written by
+// WriteSnapshotFile.
+func ReadSnapshotFile[S comparable](path string) (*Snapshot[S], error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalSnapshot[S](b)
+}
+
+// validate checks the version and per-backend shape invariants shared by
+// UnmarshalSnapshot and Restore.
+func (s *Snapshot[S]) validate() error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("pop: snapshot version %d is not supported (this build reads version %d)",
+			s.Version, SnapshotVersion)
+	}
+	if s.N < 2 {
+		return fmt.Errorf("pop: snapshot population size %d < 2", s.N)
+	}
+	if len(s.RNG) == 0 {
+		return fmt.Errorf("pop: snapshot has no rng state")
+	}
+	switch s.Backend {
+	case Sequential.String():
+		if len(s.Agents) != s.N {
+			return fmt.Errorf("pop: sequential snapshot has %d agents for n=%d", len(s.Agents), s.N)
+		}
+		if s.ICounts != nil && len(s.ICounts) != s.N {
+			return fmt.Errorf("pop: sequential snapshot has %d interaction counts for n=%d", len(s.ICounts), s.N)
+		}
+		if s.TrackStates && len(s.Seen) == 0 {
+			return fmt.Errorf("pop: sequential snapshot tracks states but carries none")
+		}
+	case Batched.String():
+		if s.SeqMode {
+			if len(s.Agents) != s.N {
+				return fmt.Errorf("pop: batch snapshot in sequential fallback has %d agents for n=%d",
+					len(s.Agents), s.N)
+			}
+		} else {
+			if len(s.Counts) != len(s.States) {
+				return fmt.Errorf("pop: batch snapshot has %d counts for %d states", len(s.Counts), len(s.States))
+			}
+			var total int64
+			for i, c := range s.Counts {
+				if c < 0 {
+					return fmt.Errorf("pop: batch snapshot count %d of state %v is negative", c, s.States[i])
+				}
+				total += c
+			}
+			if total != int64(s.N) {
+				return fmt.Errorf("pop: batch snapshot counts total %d for n=%d", total, s.N)
+			}
+		}
+		if s.QMax <= 0 {
+			return fmt.Errorf("pop: batch snapshot has no live-state threshold")
+		}
+	case Dense.String():
+		if s.Inner != nil {
+			if s.Inner.Backend != Batched.String() {
+				return fmt.Errorf("pop: dense snapshot delegates to backend %q, want %q",
+					s.Inner.Backend, Batched)
+			}
+			if err := s.Inner.validate(); err != nil {
+				return fmt.Errorf("pop: dense snapshot's inner engine: %w", err)
+			}
+			if s.Inner.N != s.N {
+				return fmt.Errorf("pop: dense snapshot has n=%d but its inner engine n=%d", s.N, s.Inner.N)
+			}
+		} else {
+			if len(s.Counts) != len(s.States) {
+				return fmt.Errorf("pop: dense snapshot has %d counts for %d states", len(s.Counts), len(s.States))
+			}
+			var total int64
+			for i, c := range s.Counts {
+				if c < 0 {
+					return fmt.Errorf("pop: dense snapshot count %d of state %v is negative", c, s.States[i])
+				}
+				total += c
+			}
+			if total != int64(s.N) {
+				return fmt.Errorf("pop: dense snapshot counts total %d for n=%d", total, s.N)
+			}
+		}
+		if s.QMax <= 0 {
+			return fmt.Errorf("pop: dense snapshot has no live-state threshold")
+		}
+	default:
+		return fmt.Errorf("pop: snapshot backend %q is unknown (want %q, %q or %q)",
+			s.Backend, Sequential, Batched, Dense)
+	}
+	return nil
+}
+
+// restorePCG rebuilds a PCG from its marshaled stream state.
+func restorePCG(state []byte) (*rand.PCG, error) {
+	pcg := rand.NewPCG(0, 0)
+	if err := pcg.UnmarshalBinary(state); err != nil {
+		return nil, fmt.Errorf("pop: restoring snapshot rng state: %w", err)
+	}
+	return pcg, nil
+}
+
+// sortedStates renders a state set as a slice sorted by each state's JSON
+// encoding — comparable types have no order of their own, and map
+// iteration must not leak into the snapshot bytes.
+func sortedStates[S comparable](set map[S]struct{}) ([]S, error) {
+	type enc struct {
+		s S
+		b []byte
+	}
+	es := make([]enc, 0, len(set))
+	for s := range set {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return nil, fmt.Errorf("pop: marshaling tracked state %v: %w", s, err)
+		}
+		es = append(es, enc{s, b})
+	}
+	sort.Slice(es, func(i, j int) bool { return bytes.Compare(es[i].b, es[j].b) < 0 })
+	out := make([]S, len(es))
+	for i, e := range es {
+		out[i] = e.s
+	}
+	return out, nil
+}
+
+// Snapshot captures the sequential engine's full state.
+func (s *Sim[S]) Snapshot() (*Snapshot[S], error) {
+	rng, err := s.pcg.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("pop: marshaling rng state: %w", err)
+	}
+	snap := &Snapshot[S]{
+		Version:      SnapshotVersion,
+		Backend:      Sequential.String(),
+		N:            len(s.agents),
+		Interactions: s.interactions,
+		TimeBase:     s.timeBase,
+		SegStart:     s.segStart,
+		RNG:          rng,
+		Agents:       append([]S(nil), s.agents...),
+	}
+	if s.seen != nil {
+		snap.TrackStates = true
+		if snap.Seen, err = sortedStates(s.seen); err != nil {
+			return nil, err
+		}
+	}
+	if s.icounts != nil {
+		snap.ICounts = append([]int64(nil), s.icounts...)
+	}
+	return snap, nil
+}
+
+// Snapshot captures the batched engine's full state. In multiset mode the
+// interning tables are serialized verbatim (dead entries included); in the
+// sequential fallback the agent array is authoritative and the stale
+// counts vector is omitted.
+func (b *BatchSim[S]) Snapshot() (*Snapshot[S], error) {
+	rng, err := b.pcg.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("pop: marshaling rng state: %w", err)
+	}
+	snap := &Snapshot[S]{
+		Version:      SnapshotVersion,
+		Backend:      Batched.String(),
+		N:            b.n,
+		Interactions: b.interacts,
+		TimeBase:     b.timeBase,
+		SegStart:     b.segStart,
+		RNG:          rng,
+		Par:          b.par,
+		States:       append([]S(nil), b.states...),
+		Distinct:     b.distinct,
+		QMax:         b.qMax,
+	}
+	if b.seqMode {
+		snap.SeqMode = true
+		snap.SeqRecheck = b.seqRecheck
+		snap.Agents = append([]S(nil), b.agents...)
+	} else {
+		snap.Counts = append([]int64(nil), b.counts...)
+	}
+	return snap, nil
+}
+
+// Snapshot captures the dense engine's full state. While delegated, the
+// configuration lives in the inner BatchSim's nested snapshot and the
+// outer tables (stale — re-entry rebuilds them wholesale from the inner
+// engine) are omitted.
+func (d *DenseSim[S]) Snapshot() (*Snapshot[S], error) {
+	rng, err := d.pcg.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("pop: marshaling rng state: %w", err)
+	}
+	snap := &Snapshot[S]{
+		Version:        SnapshotVersion,
+		Backend:        Dense.String(),
+		N:              d.n,
+		Interactions:   d.interactsBase,
+		TimeBase:       d.timeBase,
+		SegStart:       d.segStart,
+		RNG:            rng,
+		Par:            d.par,
+		Distinct:       d.distinct,
+		QMax:           d.qMax,
+		QMaxOverride:   d.qMaxOverride,
+		BatchThreshold: d.batchThreshold,
+		ParOption:      d.parOption,
+	}
+	if d.inner != nil {
+		inner, err := d.inner.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		snap.Inner = inner
+		snap.InnerRecheck = d.innerRecheck
+		snap.InnerBaseDistinct = d.innerBaseDistinct
+	} else {
+		snap.States = append([]S(nil), d.states...)
+		snap.Counts = append([]int64(nil), d.counts...)
+	}
+	return snap, nil
+}
+
+// Restore rebuilds an engine from a snapshot, resuming the exact
+// execution: running the restored engine produces the byte-identical
+// trajectory (and byte-identical future snapshots) the snapshotted engine
+// would have produced. The rule must be the one the original engine ran;
+// backend, parallelism class and thresholds come from the snapshot, not
+// from options.
+func Restore[S comparable](snap *Snapshot[S], rule Rule[S]) (Engine[S], error) {
+	if rule == nil {
+		panic("pop: nil rule")
+	}
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	switch snap.Backend {
+	case Sequential.String():
+		return restoreSim(snap, rule)
+	case Batched.String():
+		return restoreBatch(snap, rule)
+	default:
+		return restoreDense(snap, rule)
+	}
+}
+
+// restoreSim rebuilds a sequential engine.
+func restoreSim[S comparable](snap *Snapshot[S], rule Rule[S]) (*Sim[S], error) {
+	pcg, err := restorePCG(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim[S]{
+		pcg:          pcg,
+		rng:          rand.New(pcg),
+		agents:       append([]S(nil), snap.Agents...),
+		rule:         rule,
+		interactions: snap.Interactions,
+		timeBase:     snap.TimeBase,
+		segStart:     snap.SegStart,
+	}
+	if snap.TrackStates {
+		s.seen = make(map[S]struct{}, 2*len(snap.Seen))
+		for _, st := range snap.Seen {
+			s.seen[st] = struct{}{}
+		}
+	}
+	if snap.ICounts != nil {
+		s.icounts = append([]int64(nil), snap.ICounts...)
+	}
+	return s, nil
+}
+
+// restoreTables rebuilds an interning position map from a serialized
+// states table (which must be duplicate-free — intern assigns each state
+// one id).
+func restoreTables[S comparable](states []S) (map[S]int32, error) {
+	pos := make(map[S]int32, 2*len(states))
+	for id, st := range states {
+		if _, dup := pos[st]; dup {
+			return nil, fmt.Errorf("pop: snapshot interning table repeats state %v", st)
+		}
+		pos[st] = int32(id)
+	}
+	return pos, nil
+}
+
+// restoreBatch rebuilds a batched engine. The transition cache starts
+// cold (generation 1, empty) by design — see the file comment.
+func restoreBatch[S comparable](snap *Snapshot[S], rule Rule[S]) (*BatchSim[S], error) {
+	pcg, err := restorePCG(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	pos, err := restoreTables(snap.States)
+	if err != nil {
+		return nil, err
+	}
+	cs := &countingSource{src: pcg}
+	b := &BatchSim[S]{
+		pcg:       pcg,
+		rng:       rand.New(pcg),
+		ruleRand:  cs,
+		ruleRng:   rand.New(cs),
+		rule:      rule,
+		n:         snap.N,
+		interacts: snap.Interactions,
+		timeBase:  snap.TimeBase,
+		segStart:  snap.SegStart,
+		states:    append([]S(nil), snap.States...),
+		pos:       pos,
+		counts:    make([]int64, len(snap.States)),
+		distinct:  snap.Distinct,
+		qMax:      snap.QMax,
+		par:       snap.Par,
+	}
+	b.cache = make([]cacheSlot, 1<<cacheBits)
+	b.cacheGen = 1
+	if snap.SeqMode {
+		// The fallback's counts vector is stale by invariant (nothing
+		// reads it before recountFromAgents) and was omitted; the agent
+		// array is the configuration.
+		b.seqMode = true
+		b.seqRecheck = snap.SeqRecheck
+		b.agents = append([]S(nil), snap.Agents...)
+	} else {
+		copy(b.counts, snap.Counts)
+		for _, c := range b.counts {
+			b.total += c
+			if c > 0 {
+				b.live++
+			}
+		}
+	}
+	return b, nil
+}
+
+// restoreDense rebuilds a dense engine, recursing into the delegated
+// BatchSim's nested snapshot when one is present.
+func restoreDense[S comparable](snap *Snapshot[S], rule Rule[S]) (*DenseSim[S], error) {
+	pcg, err := restorePCG(snap.RNG)
+	if err != nil {
+		return nil, err
+	}
+	cs := &countingSource{src: pcg}
+	d := &DenseSim[S]{
+		pcg:            pcg,
+		rng:            rand.New(pcg),
+		ruleRand:       cs,
+		ruleRng:        rand.New(cs),
+		rule:           rule,
+		n:              snap.N,
+		interactsBase:  snap.Interactions,
+		timeBase:       snap.TimeBase,
+		segStart:       snap.SegStart,
+		pos:            map[S]int32{},
+		distinct:       snap.Distinct,
+		qMax:           snap.QMax,
+		qMaxOverride:   snap.QMaxOverride,
+		batchThreshold: snap.BatchThreshold,
+		par:            snap.Par,
+		parOption:      snap.ParOption,
+	}
+	d.cache = make([]cacheSlot, 1<<denseCacheBits)
+	d.cacheGen = 1
+	if snap.Inner != nil {
+		inner, err := restoreBatch(snap.Inner, rule)
+		if err != nil {
+			return nil, err
+		}
+		d.inner = inner
+		d.innerRecheck = snap.InnerRecheck
+		d.innerBaseDistinct = snap.InnerBaseDistinct
+		return d, nil
+	}
+	pos, err := restoreTables(snap.States)
+	if err != nil {
+		return nil, err
+	}
+	d.states = append([]S(nil), snap.States...)
+	d.counts = append([]int64(nil), snap.Counts...)
+	d.pos = pos
+	for _, c := range d.counts {
+		d.total += c
+		if c > 0 {
+			d.live++
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,228 @@
+package pop
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// mixedRule interleaves randomized and deterministic transitions over a
+// five-state space: tied pairs flip a coin (these cells can never be
+// cached), others take a deterministic epidemic step (these exercise the
+// transition cache — and thereby the cold-cache-neutrality argument in
+// snapshot.go, since a restored engine replays them as misses).
+func mixedRule(a, b int, r *rand.Rand) (int, int) {
+	if a == b {
+		if r.IntN(2) == 0 {
+			return (a + 1) % 5, b
+		}
+		return a, (b + 1) % 5
+	}
+	m := max(a, b)
+	return m, m
+}
+
+// snapOp is one step of a snapshot round-trip script, applied identically
+// to the original and the restored engine.
+type snapOp func(e Engine[int])
+
+func opRun(k int64) snapOp       { return func(e Engine[int]) { e.Run(k) } }
+func opJoin(st, k int) snapOp    { return func(e Engine[int]) { e.AddAgents(st, k) } }
+func opLeave(k int) snapOp       { return func(e Engine[int]) { e.RemoveAgents(k) } }
+func opRunTime(t float64) snapOp { return func(e Engine[int]) { e.RunTime(t) } }
+
+// roundTrip runs pre on a fresh engine, snapshots it through a full
+// marshal/unmarshal cycle, then runs post on both the original and the
+// restored engine and asserts their final snapshots are byte-identical.
+func roundTrip(t *testing.T, mk func() Engine[int], rule Rule[int], pre, post []snapOp) {
+	t.Helper()
+	e1 := mk()
+	for _, op := range pre {
+		op(e1)
+	}
+	snap, err := e1.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	blob, err := snap.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	parsed, err := UnmarshalSnapshot[int](blob)
+	if err != nil {
+		t.Fatalf("UnmarshalSnapshot: %v", err)
+	}
+	e2, err := Restore(parsed, rule)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if e1.N() != e2.N() || e1.Interactions() != e2.Interactions() || e1.Time() != e2.Time() {
+		t.Fatalf("restored header mismatch: n %d/%d interactions %d/%d time %g/%g",
+			e1.N(), e2.N(), e1.Interactions(), e2.Interactions(), e1.Time(), e2.Time())
+	}
+	for _, op := range post {
+		op(e1)
+		op(e2)
+	}
+	f1, err := e1.Snapshot()
+	if err != nil {
+		t.Fatalf("final Snapshot (uninterrupted): %v", err)
+	}
+	f2, err := e2.Snapshot()
+	if err != nil {
+		t.Fatalf("final Snapshot (restored): %v", err)
+	}
+	b1, _ := f1.Marshal()
+	b2, _ := f2.Marshal()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("restored run diverged from uninterrupted run:\nuninterrupted: %.200s\nrestored:      %.200s", b1, b2)
+	}
+}
+
+// TestSnapshotRoundTripBackends asserts byte-identical restore-then-run
+// across every backend and both parallelism classes, on a rule mixing
+// cached deterministic and uncacheable randomized transitions.
+func TestSnapshotRoundTripBackends(t *testing.T) {
+	const n = 3000
+	init := func(i int, _ *rand.Rand) int { return i % 5 }
+	pre := []snapOp{opRun(4 * n), opRunTime(0.7)}
+	post := []snapOp{opRun(3 * n), opRunTime(1.3), opRun(517)}
+	for _, par := range []int{0, 2} {
+		for _, bk := range []Backend{Sequential, Batched, Dense} {
+			bk := bk
+			mk := func() Engine[int] {
+				return NewEngine(n, init, mixedRule,
+					WithSeed(41), WithBackend(bk), WithParallelism(par))
+			}
+			t.Run(bk.String()+"/par="+map[int]string{0: "0", 2: "2"}[par], func(t *testing.T) {
+				roundTrip(t, mk, mixedRule, pre, post)
+			})
+		}
+	}
+}
+
+// TestSnapshotRoundTripTracking covers the sequential engine's optional
+// per-run instrumentation (seen-state set, per-agent interaction counts),
+// which must survive the round trip exactly.
+func TestSnapshotRoundTripTracking(t *testing.T) {
+	const n = 800
+	mk := func() Engine[int] {
+		return New(n, func(i int, _ *rand.Rand) int { return i % 5 }, mixedRule,
+			WithSeed(9), WithStateTracking(), WithInteractionCounts())
+	}
+	roundTrip(t, mk, mixedRule, []snapOp{opRun(2 * n)}, []snapOp{opRun(3 * n)})
+}
+
+// TestSnapshotRoundTripChurn schedules joins and leaves on both sides of
+// the snapshot point, exercising the per-segment time accounting and the
+// churn paths of every backend.
+func TestSnapshotRoundTripChurn(t *testing.T) {
+	const n = 2000
+	init := func(i int, _ *rand.Rand) int { return i % 5 }
+	pre := []snapOp{opRun(n), opJoin(3, 400), opRun(n), opLeave(700), opRun(n / 2)}
+	post := []snapOp{opJoin(1, 250), opRun(2 * n), opLeave(300), opRunTime(0.9)}
+	for _, bk := range []Backend{Sequential, Batched, Dense} {
+		bk := bk
+		mk := func() Engine[int] {
+			return NewEngine(n, init, mixedRule, WithSeed(77), WithBackend(bk), WithParallelism(2))
+		}
+		t.Run(bk.String(), func(t *testing.T) {
+			roundTrip(t, mk, mixedRule, pre, post)
+		})
+	}
+}
+
+// TestSnapshotMidFallback snapshots a BatchSim while it is materialized in
+// its sequential fallback (explodeRule keeps minting states past the tiny
+// threshold) and asserts the restored engine resumes the fallback
+// byte-identically — including the pending re-entry check countdown.
+func TestSnapshotMidFallback(t *testing.T) {
+	const n = 600
+	mk := func() Engine[int] {
+		return NewBatch(n, func(i int, _ *rand.Rand) int { return 0 }, explodeRule,
+			WithSeed(5), WithBatchThreshold(16))
+	}
+	e := mk()
+	e.Run(20 * n)
+	if !e.(*BatchSim[int]).seqMode {
+		t.Fatal("test setup: engine did not fall back to sequential mode")
+	}
+	roundTrip(t, mk, explodeRule, []snapOp{opRun(20 * n)}, []snapOp{opRun(3 * n)})
+}
+
+// TestSnapshotMidDelegation snapshots a DenseSim while it is delegated to
+// its internal BatchSim and asserts the nested snapshot restores the
+// delegation byte-identically — including the inner engine's own rng and
+// the re-entry countdown.
+func TestSnapshotMidDelegation(t *testing.T) {
+	const n = 600
+	mk := func() Engine[int] {
+		return NewDense(n, func(i int, _ *rand.Rand) int { return 0 }, explodeRule,
+			WithSeed(5), WithDenseThreshold(8))
+	}
+	e := mk()
+	e.Run(2 * n)
+	if !e.(*DenseSim[int]).Delegated() {
+		t.Fatal("test setup: engine did not delegate to the batch backend")
+	}
+	roundTrip(t, mk, explodeRule, []snapOp{opRun(2 * n)}, []snapOp{opRun(3 * n)})
+	roundTrip(t, mk, explodeRule, []snapOp{opRun(2 * n)}, []snapOp{opRun(40 * n)})
+}
+
+// TestSnapshotFile round-trips a snapshot through the file helpers.
+func TestSnapshotFile(t *testing.T) {
+	s := NewBatch(500, func(i int, _ *rand.Rand) int { return i % 3 }, amRule, WithSeed(3))
+	s.Run(1000)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/snap.json"
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile[int](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := snap.Marshal()
+	b2, _ := got.Marshal()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("file round trip changed the snapshot:\nwrote: %s\nread:  %s", b1, b2)
+	}
+}
+
+// TestSnapshotValidation spot-checks the malformed-snapshot rejections.
+func TestSnapshotValidation(t *testing.T) {
+	s := NewBatch(500, func(i int, _ *rand.Rand) int { return i % 3 }, amRule, WithSeed(3))
+	s.Run(1000)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot[int])
+		want   string
+	}{
+		{"version", func(s *Snapshot[int]) { s.Version = 99 }, "version"},
+		{"backend", func(s *Snapshot[int]) { s.Backend = "quantum" }, "unknown"},
+		{"counts-total", func(s *Snapshot[int]) { s.Counts[0]++ }, "total"},
+		{"no-rng", func(s *Snapshot[int]) { s.RNG = nil }, "rng"},
+		{"dup-state", func(s *Snapshot[int]) { s.States[1] = s.States[0] }, "repeats"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := *snap
+			cp.States = append([]int(nil), snap.States...)
+			cp.Counts = append([]int64(nil), snap.Counts...)
+			tc.mutate(&cp)
+			if _, err := Restore(&cp, amRule); err == nil {
+				t.Fatal("Restore accepted a corrupted snapshot")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

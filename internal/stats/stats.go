@@ -17,7 +17,12 @@ type Summary struct {
 	Median, Q10, Q90 float64
 }
 
-// Summarize computes a Summary of xs (which it copies and sorts).
+// Summarize computes a Summary of xs (which it copies and sorts). Std is
+// the sample standard deviation (Bessel-corrected, n−1 denominator; 0 for
+// fewer than two values), computed two-pass as Σ(x−mean)² — the textbook
+// one-pass Σx²/n − mean² cancels catastrophically when the mean dwarfs
+// the spread (e.g. convergence times near 1e15 with unit variance collapse
+// to exactly 0) and that shortcut is deliberately avoided here.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
@@ -25,16 +30,20 @@ func Summarize(xs []float64) Summary {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	sum, sq := 0.0, 0.0
+	sum := 0.0
 	for _, x := range s {
 		sum += x
-		sq += x * x
 	}
 	n := float64(len(s))
 	mean := sum / n
-	variance := sq/n - mean*mean
-	if variance < 0 {
-		variance = 0
+	variance := 0.0
+	if len(s) > 1 {
+		sq := 0.0
+		for _, x := range s {
+			d := x - mean
+			sq += d * d
+		}
+		variance = sq / (n - 1)
 	}
 	return Summary{
 		N:      len(s),

@@ -14,7 +14,8 @@ func TestSummarize(t *testing.T) {
 	}{
 		{"empty", nil, Summary{}},
 		{"single", []float64{4}, Summary{N: 1, Mean: 4, Min: 4, Max: 4, Median: 4, Q10: 4, Q90: 4}},
-		{"pair", []float64{2, 4}, Summary{N: 2, Mean: 3, Std: 1, Min: 2, Max: 4, Median: 3, Q10: 2.2, Q90: 3.8}},
+		{"pair", []float64{2, 4}, Summary{N: 2, Mean: 3, Std: math.Sqrt2, Min: 2, Max: 4, Median: 3, Q10: 2.2, Q90: 3.8}},
+		{"triple", []float64{1, 2, 3}, Summary{N: 3, Mean: 2, Std: 1, Min: 1, Max: 3, Median: 2, Q10: 1.2, Q90: 2.8}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -24,6 +25,30 @@ func TestSummarize(t *testing.T) {
 				t.Errorf("Summarize(%v) = %+v, want %+v", tt.in, got, tt.want)
 			}
 		})
+	}
+}
+
+// TestSummarizeLargeMean is the regression test for the catastrophic-
+// cancellation bug: the one-pass Σx²/n − mean² formula computes variance
+// as the difference of two ~1e30 quantities, which collapses to 0 for a
+// sample like 1e15+{0,1,2} whose true sample variance is exactly 1. The
+// two-pass formula must recover it.
+func TestSummarizeLargeMean(t *testing.T) {
+	const base = 1e15
+	got := Summarize([]float64{base, base + 1, base + 2})
+	if !close(got.Std, 1) {
+		t.Errorf("Std of 1e15+{0,1,2} = %v, want 1 (one-pass variance cancels to 0)", got.Std)
+	}
+	if got.Mean != base+1 {
+		t.Errorf("Mean = %v, want %v", got.Mean, base+1)
+	}
+}
+
+// TestSummarizeSingleStd: one observation has no spread estimate; Std must
+// be 0 (the n−1 denominator is degenerate), not NaN.
+func TestSummarizeSingleStd(t *testing.T) {
+	if got := Summarize([]float64{42}); got.Std != 0 || got.N != 1 {
+		t.Errorf("Summarize([42]) = %+v, want Std 0", got)
 	}
 }
 
@@ -41,7 +66,10 @@ func TestQuantile(t *testing.T) {
 		q    float64
 		want float64
 	}{
-		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2},
+		// Interior interpolation, exact index hits, and out-of-range q
+		// clamping to the extremes.
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+		{-0.5, 1}, {1.5, 5}, {0.125, 1.5},
 	}
 	for _, tt := range tests {
 		if got := Quantile(sorted, tt.q); !close(got, tt.want) {
@@ -50,6 +78,11 @@ func TestQuantile(t *testing.T) {
 	}
 	if !math.IsNaN(Quantile(nil, 0.5)) {
 		t.Error("Quantile(nil) did not return NaN")
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Errorf("Quantile([7], %v) = %v, want 7", q, got)
+		}
 	}
 }
 

@@ -1,0 +1,56 @@
+package stats
+
+import "sort"
+
+// TrajPoint is one row of a per-run trajectory report: the digest of a
+// sampled configuration that the human-readable rendering keeps (the full
+// state→count map lives in the JSONL stream).
+type TrajPoint struct {
+	// Time and Interactions locate the sample on the run's axis; N is the
+	// population size it was measured against (they differ under churn).
+	Time         float64
+	N            int
+	Interactions int64
+	// Live is the number of distinct states present; TopShare the fraction
+	// of the population in the most common one — together a one-line view
+	// of how concentrated the configuration is.
+	Live     int
+	TopShare float64
+}
+
+// TrajDigest reduces a configuration (state label → count) to its report
+// digest for a population of n agents.
+func TrajDigest(config map[string]float64, n int) (live int, topShare float64) {
+	var top float64
+	for _, c := range config {
+		if c > 0 {
+			live++
+			if c > top {
+				top = c
+			}
+		}
+	}
+	if n > 0 {
+		topShare = top / float64(n)
+	}
+	return live, topShare
+}
+
+// TrajectoryTable renders trajectory points as a per-run report table,
+// sorted by interaction count (the unambiguous axis — parallel time can
+// repeat a value across churn segments only if samples coincide, but
+// interactions strictly increase).
+func TrajectoryTable(title string, pts []TrajPoint) Table {
+	sorted := make([]TrajPoint, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Interactions < sorted[j].Interactions })
+	t := Table{
+		Title:   title,
+		Note:    "Sampled configuration trajectory: live = distinct states present, top share = fraction of agents in the most common state.",
+		Columns: []string{"time", "n", "interactions", "live", "top share"},
+	}
+	for _, p := range sorted {
+		t.AddRow(F(p.Time), I(p.N), I(int(p.Interactions)), I(p.Live), F(p.TopShare))
+	}
+	return t
+}

@@ -29,7 +29,11 @@ type Agg struct {
 	Mean    float64
 	Std     float64
 	// CILo and CIHi bound the mean's 95% bootstrap percentile interval
-	// (resampled means, 2.5th–97.5th percentile).
+	// (resampled means, 2.5th–97.5th percentile). With fewer than two
+	// finite contributions a resampled mean has no spread — every
+	// resample of one point is that point — so the "interval" would
+	// degenerate to CILo == CIHi == Mean, a zero-width bound that reads
+	// as spurious certainty; both are NaN instead.
 	CILo, CIHi float64
 }
 
@@ -66,8 +70,12 @@ func Aggregate(recs []Record, resamples int, seed uint64) map[Group]Agg {
 		if len(finite) > 0 {
 			s := stats.Summarize(finite)
 			a.Mean, a.Std = s.Mean, s.Std
-			a.CILo, a.CIHi = bootstrapCI(finite, resamples,
-				pop.TrialSeed(seed, "bootstrap/"+g.Experiment+"/"+g.Field, g.N))
+			if len(finite) >= 2 {
+				a.CILo, a.CIHi = bootstrapCI(finite, resamples,
+					pop.TrialSeed(seed, "bootstrap/"+g.Experiment+"/"+g.Field, g.N))
+			} else {
+				a.CILo, a.CIHi = math.NaN(), math.NaN()
+			}
 		} else {
 			a.Mean, a.Std = math.NaN(), math.NaN()
 			a.CILo, a.CIHi = math.NaN(), math.NaN()
@@ -113,7 +121,7 @@ func SummaryTable(recs []Record, resamples int, seed uint64) stats.Table {
 	})
 	t := stats.Table{
 		Title:   "Sweep summary",
-		Note:    "Per (experiment, n, field): mean ± stddev over finite trials with a 95% bootstrap CI; dropped = non-finite (NaN/±Inf) trials.",
+		Note:    "Per (experiment, n, field): mean ± stddev over finite trials with a 95% bootstrap CI; dropped = non-finite (NaN/±Inf) trials; CI is NaN below 2 finite trials (a single point has no resampling spread).",
 		Columns: []string{"experiment", "n", "field", "trials", "dropped", "mean", "stddev", "ci lo", "ci hi"},
 	}
 	for _, g := range groups {

@@ -21,6 +21,17 @@ type Flags struct {
 	Seed    uint64
 	JSONL   string
 	Resume  bool
+
+	// Trajectory flags (single-run instrumentation; see expt.ConfigureTrajectory):
+	// History streams a sampled configuration trajectory (one HistoryRecord
+	// JSONL line every HistoryEvery time units) to a file; Snapshot writes a
+	// versioned engine snapshot at time SnapshotAt (or at run end when <= 0);
+	// Restore resumes a run from a snapshot file instead of a fresh engine.
+	History      string
+	HistoryEvery float64
+	Snapshot     string
+	SnapshotAt   float64
+	Restore      string
 }
 
 // Register declares the shared flags on fs (use flag.CommandLine for a
@@ -34,6 +45,11 @@ func Register(fs *flag.FlagSet, defaultJSONL string) *Flags {
 	fs.Uint64Var(&f.Seed, "seed", 1, "base random seed (per-trial seeds derive from it)")
 	fs.StringVar(&f.JSONL, "jsonl", defaultJSONL, "sweep record stream / checkpoint file (empty = none)")
 	fs.BoolVar(&f.Resume, "resume", false, "skip trials already recorded in -jsonl and append the rest")
+	fs.StringVar(&f.History, "history", "", "stream a sampled configuration trajectory to this JSONL file (empty = none)")
+	fs.Float64Var(&f.HistoryEvery, "history-dt", 1, "trajectory sampling interval Δ in parallel-time units (with -history)")
+	fs.StringVar(&f.Snapshot, "snapshot", "", "write a versioned engine snapshot to this file (empty = none)")
+	fs.Float64Var(&f.SnapshotAt, "snapshot-at", 0, "parallel time at which to take the -snapshot (<= 0: at run end)")
+	fs.StringVar(&f.Restore, "restore", "", "resume the run from this engine snapshot file instead of a fresh engine")
 	return f
 }
 

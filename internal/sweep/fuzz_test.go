@@ -1,0 +1,62 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzValuesRoundTrip: Values survives marshal → unmarshal exactly for
+// arbitrary field names and float64 values, including the non-finite
+// encodings (NaN/±Inf as strings — encoding/json rejects them as numbers)
+// that carry "trial did not converge" markers through sweep JSONL files.
+func FuzzValuesRoundTrip(f *testing.F) {
+	f.Add("err", 1.5, "t", math.Inf(1))
+	f.Add("x", math.NaN(), "", math.Inf(-1))
+	f.Add("a", 0.0, "a", -0.0)
+	f.Add("big", math.MaxFloat64, "tiny", math.SmallestNonzeroFloat64)
+	f.Fuzz(func(t *testing.T, k1 string, v1 float64, k2 string, v2 float64) {
+		// encoding/json rewrites invalid UTF-8 in strings to U+FFFD; real
+		// field names are ASCII identifiers, so normalize rather than
+		// report that stdlib behavior as a round-trip failure.
+		k1, k2 = strings.ToValidUTF8(k1, "?"), strings.ToValidUTF8(k2, "?")
+		in := Values{k1: v1, k2: v2}
+		blob, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", in, err)
+		}
+		var out Values
+		if err := json.Unmarshal(blob, &out); err != nil {
+			t.Fatalf("unmarshal %s: %v", blob, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("round trip changed field count: %v -> %v", in, out)
+		}
+		for k, v := range in {
+			got, ok := out[k]
+			if !ok {
+				t.Fatalf("field %q lost in round trip: %s", k, blob)
+			}
+			if math.IsNaN(v) {
+				if !math.IsNaN(got) {
+					t.Fatalf("field %q: NaN became %v", k, got)
+				}
+				continue
+			}
+			// Exact float64 identity, including -0 vs +0 and ±Inf.
+			if math.Float64bits(got) != math.Float64bits(v) {
+				t.Fatalf("field %q: %v (bits %#x) became %v (bits %#x)",
+					k, v, math.Float64bits(v), got, math.Float64bits(got))
+			}
+		}
+		// Marshaling is canonical: a second round trip is byte-identical.
+		blob2, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(blob2) {
+			t.Fatalf("marshal not canonical: %s then %s", blob, blob2)
+		}
+	})
+}

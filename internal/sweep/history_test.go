@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// TestHistoryRoundTrip: WriteHistory/ReadHistory preserve a sampled
+// trajectory exactly, the encoding is deterministic, and a torn tail is
+// reported without losing the intact prefix — the same reader contract as
+// the sweep record stream.
+func TestHistoryRoundTrip(t *testing.T) {
+	samples := []pop.HistorySample[int]{
+		{Time: 0, N: 100, Interactions: 0, Counts: map[int]int{0: 100}},
+		{Time: 1.5, N: 100, Interactions: 150, Counts: map[int]int{0: 40, 7: 60}},
+		{Time: 2.25, N: 130, Interactions: 280, Counts: map[int]int{7: 130}},
+	}
+	recs := HistoryRecords(samples)
+	if len(recs) != len(samples) {
+		t.Fatalf("HistoryRecords: %d records from %d samples", len(recs), len(samples))
+	}
+	if got := recs[1].Config["7"]; got != 60 {
+		t.Errorf("state 7 count = %v, want 60", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteHistory(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteHistory(&buf2, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteHistory is not deterministic")
+	}
+	back, err := ReadHistory(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadHistory: %v", err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip lost records: %d -> %d", len(recs), len(back))
+	}
+	for i := range recs {
+		a, b := recs[i], back[i]
+		if a.Time != b.Time || a.N != b.N || a.Interactions != b.Interactions ||
+			len(a.Config) != len(b.Config) {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, a, b)
+		}
+		for k, v := range a.Config {
+			if b.Config[k] != v {
+				t.Fatalf("record %d state %q: %v vs %v", i, k, v, b.Config[k])
+			}
+		}
+	}
+	states, counts := back[1].SortedConfig()
+	if len(states) != 2 || states[0] != "0" || states[1] != "7" || counts[1] != 60 {
+		t.Errorf("SortedConfig = %v/%v, want sorted [0 7]/[40 60]", states, counts)
+	}
+	// A torn tail keeps the intact prefix and reports ErrTornTail.
+	torn := buf.Bytes()[:buf.Len()-1]
+	back, err = ReadHistory(bytes.NewReader(torn))
+	if !errors.Is(err, ErrTornTail) {
+		t.Fatalf("torn history: err = %v, want ErrTornTail", err)
+	}
+	if len(back) != len(recs)-1 {
+		t.Fatalf("torn history kept %d records, want %d", len(back), len(recs)-1)
+	}
+}

@@ -1,9 +1,9 @@
 package sweep
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -139,25 +139,70 @@ func (r Record) appendLine(b []byte) ([]byte, error) {
 	return append(append(b, line...), '\n'), nil
 }
 
-// ReadRecords parses a JSONL record stream, tolerating blank lines. A
-// truncated (interrupted mid-write) final line is reported as an error so
-// callers can decide whether to discard it.
-func ReadRecords(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	var recs []Record
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+// ErrTornTail reports that a JSONL stream ends mid-line: the writer was
+// killed between writing a record and its newline. The records before the
+// tail are valid; the tail itself is not a record — even when it happens
+// to parse as JSON — because the resume logic (LoadCheckpoint) will rerun
+// and rewrite that trial.
+var ErrTornTail = errors.New("sweep: torn final line (missing trailing newline)")
+
+// terminatedLines walks the newline-terminated prefix of a JSONL buffer —
+// the single definition of "which bytes are records" shared by every
+// reader. It calls fn once per non-blank line; on an fn error the walk
+// stops with valid still at the offset just past the previous good line,
+// so that line reruns along with everything after it. torn reports an
+// unterminated non-blank tail.
+//
+// ReadRecords and LoadCheckpoint previously disagreed here: the reader
+// accepted a valid-JSON unterminated final line while the checkpoint
+// classified it as torn, so an analysis pass could count a trial that a
+// subsequent resume would rerun — and, with a fresh wall time or a
+// re-randomized field, duplicate. Both now consume exactly the
+// newline-terminated prefix.
+func terminatedLines(data []byte, fn func(line []byte) error) (valid int64, torn bool, err error) {
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			torn = len(bytes.TrimSpace(data[off:])) != 0
+			break
 		}
+		line := bytes.TrimSpace(data[off : off+nl])
+		off += nl + 1
+		if len(line) != 0 {
+			if err := fn(line); err != nil {
+				return valid, false, err
+			}
+		}
+		valid = int64(off)
+	}
+	return valid, torn, nil
+}
+
+// ReadRecords parses a JSONL record stream, tolerating blank lines. Only
+// newline-terminated lines count as records; a truncated (interrupted
+// mid-write) final line is reported as ErrTornTail — with the valid
+// records still returned — so callers can decide whether to proceed.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	_, torn, err := terminatedLines(data, func(line []byte) error {
 		var rec Record
-		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			return recs, fmt.Errorf("sweep: corrupt record %q: %w", line, err)
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("sweep: corrupt record %q: %w", line, err)
 		}
 		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		return recs, err
 	}
-	return recs, sc.Err()
+	if torn {
+		return recs, ErrTornTail
+	}
+	return recs, nil
 }
 
 // LoadCheckpoint reads an existing sweep JSONL file into a resume map; a
@@ -181,23 +226,18 @@ func loadCheckpointTrim(path string) (map[Key]Record, int64, error) {
 		return nil, 0, err
 	}
 	done := map[Key]Record{}
-	var valid int64
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			break // unterminated tail: treat as torn
+	errStop := errors.New("stop")
+	valid, _, err := terminatedLines(data, func(line []byte) error {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Corrupt line: everything from here on reruns.
+			return errStop
 		}
-		line := bytes.TrimSpace(data[off : off+nl])
-		off += nl + 1
-		if len(line) != 0 {
-			var rec Record
-			if err := json.Unmarshal(line, &rec); err != nil {
-				// Corrupt line: everything from here on reruns.
-				return done, valid, nil
-			}
-			done[rec.Key] = rec
-		}
-		valid = int64(off)
+		done[rec.Key] = rec
+		return nil
+	})
+	if err != nil && err != errStop {
+		return nil, 0, err
 	}
 	return done, valid, nil
 }

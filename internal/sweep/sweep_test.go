@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -283,6 +284,52 @@ func TestLoadCheckpointTolerance(t *testing.T) {
 	}
 }
 
+// TestTornTailReaderCheckpointAgreement is the regression test for the
+// reader/checkpoint divergence: a file whose final line is complete JSON
+// but lacks its newline (the writer died between the record and the '\n').
+// ReadRecords used to accept that line as a record while LoadCheckpoint
+// classified it as torn and scheduled a rerun — so an analysis pass and a
+// resume disagreed about which trials exist. Both must now drop it, and
+// ReadRecords must say why (ErrTornTail).
+func TestTornTailReaderCheckpointAgreement(t *testing.T) {
+	line0 := `{"experiment":"E1","n":10,"trial":0,"seed":5,"backend":"auto","values":{"x":1},"wall_ms":1}`
+	line1 := `{"experiment":"E1","n":10,"trial":1,"seed":6,"backend":"auto","values":{"x":2},"wall_ms":1}`
+	content := line0 + "\n" + line1 // valid JSON, no trailing newline
+
+	recs, err := ReadRecords(strings.NewReader(content))
+	if !errors.Is(err, ErrTornTail) {
+		t.Fatalf("ReadRecords err = %v, want ErrTornTail", err)
+	}
+	if len(recs) != 1 || recs[0].Trial != 0 {
+		t.Fatalf("ReadRecords = %d records (first trial %d), want only the terminated line",
+			len(recs), recs[0].Trial)
+	}
+
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, validLen, err := loadCheckpointTrim(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(recs) {
+		t.Fatalf("checkpoint has %d records, reader %d — the divergence is back", len(done), len(recs))
+	}
+	if _, ok := done[Key{"E1", 10, 1}]; ok {
+		t.Error("checkpoint kept the unterminated trial")
+	}
+	if want := int64(len(line0) + 1); validLen != want {
+		t.Errorf("validLen = %d, want %d", validLen, want)
+	}
+
+	// A properly terminated file reads cleanly and completely.
+	recs, err = ReadRecords(strings.NewReader(content + "\n"))
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("terminated file: %d records, err %v, want 2, nil", len(recs), err)
+	}
+}
+
 func TestAggregate(t *testing.T) {
 	recs := []Record{
 		{Key: Key{"E1", 100, 0}, Values: Values{"err": 1}},
@@ -295,8 +342,8 @@ func TestAggregate(t *testing.T) {
 	if a.Trials != 2 || a.Dropped != 1 {
 		t.Errorf("E1 agg trials=%d dropped=%d, want 2, 1", a.Trials, a.Dropped)
 	}
-	if a.Mean != 2 || a.Std != 1 {
-		t.Errorf("E1 agg mean=%v std=%v, want 2, 1", a.Mean, a.Std)
+	if a.Mean != 2 || math.Abs(a.Std-math.Sqrt2) > 1e-12 {
+		t.Errorf("E1 agg mean=%v std=%v, want 2, sqrt(2)", a.Mean, a.Std)
 	}
 	if a.CILo < 1 || a.CIHi > 3 || a.CILo > a.CIHi {
 		t.Errorf("bootstrap CI [%v, %v] outside sample range [1, 3]", a.CILo, a.CIHi)
@@ -344,5 +391,34 @@ func TestAggregateDropsInf(t *testing.T) {
 	b := Aggregate(recs, 200, 1)[Group{"E2", 100, "ratio"}]
 	if b.Trials != 0 || b.Dropped != 1 || !math.IsNaN(b.Mean) {
 		t.Errorf("all-Inf group: %+v, want 0 trials, 1 dropped, NaN mean", b)
+	}
+}
+
+// TestAggregateSingleTrialCI is the regression test for the degenerate
+// bootstrap interval: with exactly one finite contribution every resample
+// is that one point, so the old code reported CILo == CIHi == Mean — a
+// zero-width "95% interval" that reads as perfect certainty from a single
+// trial. Both bounds must be NaN below two finite trials, while the mean
+// itself (one point does determine a mean) stays real.
+func TestAggregateSingleTrialCI(t *testing.T) {
+	recs := []Record{
+		{Key: Key{"E1", 100, 0}, Values: Values{"t": 7}},
+		{Key: Key{"E1", 100, 1}, Values: Values{"t": math.NaN()}},
+	}
+	a := Aggregate(recs, 200, 1)[Group{"E1", 100, "t"}]
+	if a.Trials != 1 || a.Dropped != 1 {
+		t.Fatalf("trials=%d dropped=%d, want 1, 1", a.Trials, a.Dropped)
+	}
+	if a.Mean != 7 || a.Std != 0 {
+		t.Errorf("mean=%v std=%v, want 7, 0", a.Mean, a.Std)
+	}
+	if !math.IsNaN(a.CILo) || !math.IsNaN(a.CIHi) {
+		t.Errorf("CI = [%v, %v], want NaN bounds (one trial has no resampling spread)", a.CILo, a.CIHi)
+	}
+	// Two finite trials are the minimum for a real interval.
+	recs = append(recs, Record{Key: Key{"E1", 100, 2}, Values: Values{"t": 9}})
+	a = Aggregate(recs, 200, 1)[Group{"E1", 100, "t"}]
+	if math.IsNaN(a.CILo) || math.IsNaN(a.CIHi) || a.CILo > a.CIHi {
+		t.Errorf("two-trial CI = [%v, %v], want finite ordered bounds", a.CILo, a.CIHi)
 	}
 }
