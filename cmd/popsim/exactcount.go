@@ -3,27 +3,52 @@ package main
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/popsim/popsize/internal/exactcount"
 	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/protocol"
 	"github.com/popsim/popsize/internal/sweep"
 )
 
-func exactCountRunner(n int, backend pop.Backend, par int, box *errBox) protocolRunner {
+func newExactCountRunner(cfg protocol.Config) (*protocol.Runner, error) {
 	p := exactcount.New(0)
-	return protocolRunner{
-		run: func(tr int, seed uint64) sweep.Values {
-			s := p.NewEngine(n, pop.WithSeed(seed), pop.WithBackend(backend), pop.WithParallelism(par))
-			ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
+	var statsMu sync.Mutex
+	statsLines := make(map[int]string, cfg.Trials)
+	return &protocol.Runner{
+		N: cfg.N,
+		Run: func(tr int, seed uint64) sweep.Values {
+			s := p.NewEngine(cfg.N, pop.WithSeed(seed), pop.WithBackend(cfg.Backend), pop.WithParallelism(cfg.Par))
+			ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*cfg.N))
 			if !ok {
-				box.set(fmt.Errorf("trial %d: exact count never terminated on n=%d", tr, n))
+				cfg.Fail(fmt.Errorf("trial %d: exact count never terminated on n=%d", tr, cfg.N))
 				at = math.NaN()
+			}
+			if cfg.CollectStats {
+				line := "no transition-resolution stats (sequential backend calls the rule directly)"
+				if cs, have := pop.EngineCacheStats(s); have {
+					line = fmt.Sprintf("table=%d cache=%d rule=%d", cs.TableHits, cs.CacheHits, cs.RuleCalls)
+				}
+				statsMu.Lock()
+				statsLines[tr] = line
+				statsMu.Unlock()
 			}
 			return sweep.Values{"count": float64(exactcount.LeaderCount(s)), "time": at}
 		},
-		format: func(v sweep.Values) string {
+		Format: func(v sweep.Values) string {
 			return fmt.Sprintf("count=%d exact=%v time=%.0f",
-				int(v["count"]), int(v["count"]) == n, v["time"])
+				int(v["count"]), int(v["count"]) == cfg.N, v["time"])
 		},
-	}
+		StatsLines: func() []string {
+			statsMu.Lock()
+			defer statsMu.Unlock()
+			lines := make([]string, 0, len(statsLines))
+			for tr := 0; tr < cfg.Trials; tr++ {
+				if line, have := statsLines[tr]; have {
+					lines = append(lines, fmt.Sprintf("trial %d: %s", tr, line))
+				}
+			}
+			return lines
+		},
+	}, nil
 }

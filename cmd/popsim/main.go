@@ -1,5 +1,9 @@
 // Command popsim runs one of the repository's population protocols on a
-// chosen population size and reports per-trial results. Trials execute
+// chosen population size and reports per-trial results. Protocols are
+// resolved through the internal/protocol registry — the paper's
+// estimation pipeline and its baselines plus the table-compiled zoo
+// (epidemic, approxmajority, repeatmajority, junta, bkrcount) — and an
+// unknown -protocol fails with the full registered list. Trials execute
 // through the sweep subsystem: they parallelize across -workers, derive
 // per-trial seeds via pop.TrialSeed (so different protocols sharing a base
 // seed never reuse a random stream), and can be recorded to -jsonl and
@@ -13,11 +17,13 @@
 // the count vector, never an agent array): -protocol weak -n 1000000000
 // runs in ordinary memory. -par additionally parallelizes each trial's
 // batch sampling across cores (deterministically: any -par >= 1 yields
-// the identical trajectory for a given seed).
+// the identical trajectory for a given seed). -stats prints each trial's
+// transition-resolution counters — how many pair transitions the
+// declared-table bypass, the deterministic-transition cache and actual
+// rule invocations resolved.
 //
-// Protocols: main (Log-Size-Estimation), synthcoin (App. B deterministic),
-// upperbound (§3.3 probability-1), leaderterm (§3.4 terminating with a
-// leader), weak ([2]-style baseline), exactcount ([32]-style baseline).
+// -history/-snapshot/-restore instrument trajectory-capable protocols
+// (the main pipeline and every table-compiled zoo protocol).
 package main
 
 import (
@@ -26,12 +32,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 	"sync"
 
-	"github.com/popsim/popsize"
-	"github.com/popsim/popsize/internal/core"
-	"github.com/popsim/popsize/internal/expt"
-	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/protocol"
 	"github.com/popsim/popsize/internal/stats"
 	"github.com/popsim/popsize/internal/sweep"
 )
@@ -41,13 +45,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "popsim:", err)
 		os.Exit(1)
 	}
-}
-
-// protocolRunner adapts one protocol to a sweep trial function plus a
-// per-trial output line rendered from the recorded values.
-type protocolRunner struct {
-	run    sweep.TrialFunc
-	format func(v sweep.Values) string
 }
 
 // errBox collects the first trial error across worker goroutines, so a
@@ -78,10 +75,11 @@ func (b *errBox) get() error {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("popsim", flag.ContinueOnError)
 	fs.SetOutput(stdout)
-	protocol := fs.String("protocol", "main", "main|synthcoin|upperbound|leaderterm|weak|exactcount")
+	name := fs.String("protocol", "main", "protocol name: "+strings.Join(protocol.Names(), "|"))
 	n := fs.Int("n", 1000, "population size")
 	trials := fs.Int("trials", 3, "number of independent runs")
 	paper := fs.Bool("paper", false, "use the paper's constants (95/5) instead of the fast preset")
+	showStats := fs.Bool("stats", false, "print per-trial transition-resolution counters (table/cache/rule)")
 	sf := sweep.Register(fs, "")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,36 +89,50 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if traj := sf.History != "" || sf.Snapshot != "" || sf.Restore != ""; traj && *protocol != "main" {
-		return fmt.Errorf("-history/-snapshot/-restore instrument the main protocol only (got -protocol %s)", *protocol)
-	}
-	if sf.Restore != "" && *trials != 1 {
-		return fmt.Errorf("-restore resumes one specific run; use -trials 1 (got %d)", *trials)
-	}
-	if err := expt.ConfigureTrajectory(sf); err != nil {
-		return err
-	}
-	if tc := expt.Trajectory(); tc != nil && tc.Restore != nil {
-		// The snapshot carries the population; the -n flag is ignored.
-		*n = tc.Restore.N
-		fmt.Fprintf(stdout, "restoring from %s: backend=%s n=%d\n", sf.Restore, tc.Restore.Backend, tc.Restore.N)
-	}
-
-	logN := math.Log2(float64(*n))
-	fmt.Fprintf(stdout, "protocol=%s n=%d log2(n)=%.3f trials=%d\n", *protocol, *n, logN, *trials)
-
-	cfg := popsize.FastConfig()
-	if *paper {
-		cfg = popsize.PaperConfig()
-	}
-
-	var box errBox
-	r, err := runner(*protocol, cfg, *n, *trials, backend, sf.Par, &box)
+	info, err := protocol.Lookup(*name)
 	if err != nil {
 		return err
 	}
+	inst := &protocol.Instrumentation{
+		HistoryPath:  sf.History,
+		HistoryEvery: sf.HistoryEvery,
+		SnapshotPath: sf.Snapshot,
+		SnapshotAt:   sf.SnapshotAt,
+		RestorePath:  sf.Restore,
+	}
+	if inst.Active() {
+		if !info.Trajectory {
+			return fmt.Errorf("-history/-snapshot/-restore instrument trajectory-capable protocols only (%s; got -protocol %s)",
+				strings.Join(protocol.TrajectoryNames(), ", "), info.Name)
+		}
+		if inst.HistoryPath != "" && (!(inst.HistoryEvery > 0) || math.IsInf(inst.HistoryEvery, 0)) {
+			return fmt.Errorf("-history-dt must be a positive finite interval (got %v)", inst.HistoryEvery)
+		}
+		if inst.RestorePath != "" && *trials != 1 {
+			return fmt.Errorf("-restore resumes one specific run; use -trials 1 (got %d)", *trials)
+		}
+	} else {
+		inst = nil
+	}
+
+	var box errBox
+	r, err := info.New(protocol.Config{
+		N: *n, Trials: *trials, Paper: *paper,
+		Backend: backend, Par: sf.Par,
+		CollectStats: *showStats, Traj: inst, OnError: box.set,
+	})
+	if err != nil {
+		return err
+	}
+	*n = r.N // a restore snapshot carries the population; -n is ignored
+	if r.Note != "" {
+		fmt.Fprintln(stdout, r.Note)
+	}
+	logN := math.Log2(float64(*n))
+	fmt.Fprintf(stdout, "protocol=%s n=%d log2(n)=%.3f trials=%d\n", info.Name, *n, logN, *trials)
+
 	res, err := sf.Execute([]sweep.Point{{
-		Experiment: *protocol, N: *n, Trials: *trials, Run: r.run,
+		Experiment: info.Name, N: *n, Trials: *trials, Run: r.Run,
 	}}, nil)
 	if err != nil {
 		return err
@@ -129,7 +141,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	for t := 0; t < *trials; t++ {
-		rec, ok := res.Get(*protocol, *n, t)
+		rec, ok := res.Get(info.Name, *n, t)
 		if !ok {
 			return fmt.Errorf("trial %d missing from sweep results", t)
 		}
@@ -141,14 +153,25 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("trial %d: recorded %q is NaN — the trial failed when it was checkpointed; rerun it by deleting %s or dropping -resume", t, field, sf.JSONL)
 			}
 		}
-		fmt.Fprintf(stdout, "trial %d: %s\n", t, r.format(rec.Values))
+		fmt.Fprintf(stdout, "trial %d: %s\n", t, r.Format(rec.Values))
 	}
-	if tc := expt.Trajectory(); tc != nil && tc.HistoryPath != "" && *trials == 1 {
-		if err := printTrajectory(stdout, tc.HistoryFile("")); err != nil {
+	if *showStats {
+		lines := []string{"(not collected for this protocol)"}
+		if r.StatsLines != nil {
+			if got := r.StatsLines(); len(got) > 0 {
+				lines = got
+			}
+		}
+		fmt.Fprintln(stdout, "transition resolution (table bypass / cache / rule calls):")
+		for _, line := range lines {
+			fmt.Fprintf(stdout, "  %s\n", line)
+		}
+	}
+	if inst != nil && inst.HistoryPath != "" && *trials == 1 {
+		if err := printTrajectory(stdout, inst.HistoryPath); err != nil {
 			return err
 		}
 	}
-	_ = core.Initial // documents that popsim sits atop the same core package
 	return nil
 }
 
@@ -177,100 +200,4 @@ func printTrajectory(stdout io.Writer, path string) error {
 	table := stats.TrajectoryTable("Trajectory ("+path+")", pts)
 	fmt.Fprint(stdout, table.Markdown())
 	return nil
-}
-
-func runner(protocol string, cfg popsize.Config, n, trials int, backend pop.Backend, par int, box *errBox) (protocolRunner, error) {
-	logN := math.Log2(float64(n))
-	switch protocol {
-	case "main":
-		p, err := core.New(cfg)
-		if err != nil {
-			return protocolRunner{}, err
-		}
-		return protocolRunner{
-			run: func(tr int, seed uint64) sweep.Values {
-				tag := ""
-				if trials > 1 {
-					tag = fmt.Sprintf("t%d", tr)
-				}
-				r, err := expt.RunCore(p, n, tag, core.RunOptions{Seed: seed, Backend: backend, Parallelism: par})
-				if err != nil {
-					box.set(fmt.Errorf("trial %d: %w", tr, err))
-				}
-				return sweep.Values{
-					"converged": sweep.Bool(r.Converged), "time": r.Time,
-					"estimate": r.Estimate, "countA": float64(r.CountA),
-				}
-			},
-			format: func(v sweep.Values) string {
-				return fmt.Sprintf("converged=%v time=%.1f estimate=%.3f err=%.3f states(A)=%d",
-					v["converged"] == 1, v["time"], v["estimate"],
-					math.Abs(v["estimate"]-logN), int(v["countA"]))
-			},
-		}, nil
-	case "synthcoin":
-		return protocolRunner{
-			run: func(tr int, seed uint64) sweep.Values {
-				est, _, err := popsize.EstimateDeterministic(n, seed)
-				if err != nil {
-					box.set(fmt.Errorf("trial %d: %w", tr, err))
-					est = math.NaN()
-				}
-				return sweep.Values{"estimate": est}
-			},
-			format: func(v sweep.Values) string {
-				return fmt.Sprintf("estimate=%.3f err=%.3f", v["estimate"], math.Abs(v["estimate"]-logN))
-			},
-		}, nil
-	case "upperbound":
-		return protocolRunner{
-			run: func(tr int, seed uint64) sweep.Values {
-				bound, _, err := popsize.EstimateUpperBound(n, seed)
-				if err != nil {
-					box.set(fmt.Errorf("trial %d: %w", tr, err))
-					bound = math.NaN()
-				}
-				return sweep.Values{"bound": bound}
-			},
-			format: func(v sweep.Values) string {
-				return fmt.Sprintf("bound=%.3f log2(n)=%.3f holds=%v", v["bound"], logN, v["bound"] >= logN)
-			},
-		}, nil
-	case "leaderterm":
-		return protocolRunner{
-			run: func(tr int, seed uint64) sweep.Values {
-				r, err := popsize.EstimateTerminating(n, seed)
-				if err != nil {
-					box.set(fmt.Errorf("trial %d: %w", tr, err))
-					return sweep.Values{"terminated_at": math.NaN(), "converged_first": 0, "estimate": math.NaN()}
-				}
-				return sweep.Values{
-					"terminated_at": r.TerminatedAt, "converged_first": sweep.Bool(r.ConvergedFirst),
-					"estimate": r.Estimate,
-				}
-			},
-			format: func(v sweep.Values) string {
-				return fmt.Sprintf("terminated_at=%.1f converged_first=%v estimate=%.3f",
-					v["terminated_at"], v["converged_first"] == 1, v["estimate"])
-			},
-		}, nil
-	case "weak":
-		return protocolRunner{
-			run: func(tr int, seed uint64) sweep.Values {
-				k, err := popsize.WeakEstimateBackend(n, seed, backend, pop.WithParallelism(par))
-				if err != nil {
-					box.set(fmt.Errorf("trial %d: %w", tr, err))
-					return sweep.Values{"k": math.NaN()}
-				}
-				return sweep.Values{"k": float64(k)}
-			},
-			format: func(v sweep.Values) string {
-				return fmt.Sprintf("k=%d k/log2(n)=%.3f", int(v["k"]), v["k"]/logN)
-			},
-		}, nil
-	case "exactcount":
-		return exactCountRunner(n, backend, par, box), nil
-	default:
-		return protocolRunner{}, fmt.Errorf("unknown protocol %q", protocol)
-	}
 }

@@ -102,12 +102,14 @@ func TestRunParDeterminism(t *testing.T) {
 }
 
 // TestRunTrajectoryFlagValidation: the single-run instrumentation flags
-// are main-protocol-only, and -restore pins -trials 1.
+// are rejected for protocols that would ignore them (the error names the
+// trajectory-capable set), and -restore pins -trials 1.
 func TestRunTrajectoryFlagValidation(t *testing.T) {
 	err := run([]string{"-protocol", "weak", "-n", "64", "-trials", "1",
 		"-history", filepath.Join(t.TempDir(), "h.jsonl")}, io.Discard)
-	if err == nil || !strings.Contains(err.Error(), "main protocol only") {
-		t.Fatalf("err = %v, want main-protocol-only error", err)
+	if err == nil || !strings.Contains(err.Error(), "trajectory-capable") ||
+		!strings.Contains(err.Error(), "main") {
+		t.Fatalf("err = %v, want trajectory-capable-protocols error listing the capable set", err)
 	}
 	err = run([]string{"-protocol", "main", "-n", "64", "-trials", "2",
 		"-restore", "nope.json"}, io.Discard)

@@ -37,6 +37,32 @@ func Rule(rec, sen State, _ *rand.Rand) (State, State) {
 	return rec, sen
 }
 
+// Table is the binary-valued epidemic written as a declarative
+// transition table — the domain New and NewSubpop construct, where
+// values are 0 (susceptible) and 1 (infected). Member pairs holding
+// different values adopt the maximum; every other pair, including the
+// spectator self-transitions declared explicitly so the non-member
+// states join the table's state set, is a null transition. Compiling
+// this table yields a rule byte-identical in effect to Rule on that
+// domain (table_test.go pins this on all three backends).
+func Table() pop.Table[State] {
+	m0, m1 := State{Val: 0, Member: true}, State{Val: 1, Member: true}
+	s0, s1 := State{Val: 0, Member: false}, State{Val: 1, Member: false}
+	return pop.Table[State]{
+		{Rec: m0, Sen: m1}: pop.To(m1, m1),
+		{Rec: m1, Sen: m0}: pop.To(m1, m1),
+		{Rec: s0, Sen: s0}: pop.To(s0, s0),
+		{Rec: s1, Sen: s1}: pop.To(s1, s1),
+	}
+}
+
+// Compiled returns the compiled form of Table, shared across callers —
+// pass Compiled().Option() to an engine running Compiled().Rule() to
+// enable the declared-table bypass.
+func Compiled() *pop.Compiled[State] { return compiled }
+
+var compiled = pop.MustCompile(Table())
+
 // New constructs a population of n agents of which the first infected hold
 // value 1 and the rest 0, all members.
 func New(n, infected int, opts ...pop.Option) *pop.Sim[State] {

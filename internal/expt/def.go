@@ -117,5 +117,8 @@ func DefaultDefs(cfg core.Config, scCfg synthcoin.Config, p Params) []Def {
 		AblationNoRestartDef(last, p.Trials*2),
 		ChurnTrackingDef(cfg, p.Ns[:len(p.Ns)-1], p.ChurnRates, p.Trials),
 		ChurnDetectionDef(cfg, p.Ns[:len(p.Ns)-1], p.Trials),
+		ZooJuntaDef(p.Ns, p.Trials),
+		ZooRepeatMajorityDef(p.Ns, p.Trials),
+		ZooBKRCountDef(p.Ns, p.Trials),
 	}
 }

@@ -42,7 +42,7 @@ func TestDefaultSuiteCoversIndex(t *testing.T) {
 	defs := DefaultDefs(core.FastConfig(), synthcoin.FastConfig(), QuickParams())
 	want := []string{"F2", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
 		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3",
-		"E-churn", "E-churn-detect"}
+		"E-churn", "E-churn-detect", "E-junta", "E-repmaj", "E-bkr"}
 	if len(defs) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(defs), len(want))
 	}

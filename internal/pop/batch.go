@@ -98,10 +98,13 @@ type BatchStats struct {
 	// CacheHits / RuleCalls split pair transitions between the
 	// deterministic-transition cache and actual rule invocations;
 	// UncachedPairs counts rule invocations made while the dense cache
-	// was disabled or did not cover the pair's ids.
+	// was disabled or did not cover the pair's ids. TableHits counts
+	// transitions resolved by the declared-table bypass (WithTable),
+	// which skips both the cache probe and the rule.
 	CacheHits     int64
 	RuleCalls     int64
 	UncachedPairs int64
+	TableHits     int64
 	// Compactions counts interning-table rebuilds.
 	Compactions int64
 }
@@ -169,6 +172,11 @@ type BatchSim[S comparable] struct {
 	cache    []cacheSlot
 	cacheGen uint64
 
+	// Declared-table bypass (WithTable): the compiled table plus the
+	// engine-id ↔ table-id translation, rebuilt on compaction. nil when
+	// no table is attached.
+	tbl *tableView[S]
+
 	// Sequential fallback mode.
 	seqMode    bool
 	agents     []S
@@ -202,13 +210,15 @@ func newBatchShell[S comparable](rule Rule[S], o options) *BatchSim[S] {
 	}
 	pcg := rand.NewPCG(o.seed, o.seed^0x9e3779b97f4a7c15)
 	cs := &countingSource{src: pcg}
+	tbl := attachTable[S](o)
 	b := &BatchSim[S]{
 		pcg:      pcg,
 		rng:      rand.New(pcg),
 		ruleRand: cs,
 		ruleRng:  rand.New(cs),
 		rule:     rule,
-		pos:      make(map[S]int32, 64),
+		pos:      make(map[S]int32, posSizeFor(tbl)),
+		tbl:      tbl,
 		qMax:     defaultBatchThreshold,
 	}
 	if o.batchThreshold > 0 {
@@ -280,6 +290,9 @@ func (b *BatchSim[S]) intern(s S) int32 {
 	b.counts = append(b.counts, 0)
 	b.pos[s] = id
 	b.distinct++
+	if b.tbl != nil {
+		b.tbl.noteIntern(s, id)
+	}
 	return id
 }
 
@@ -635,13 +648,24 @@ func (b *BatchSim[S]) runBatchSplit(kmax int64) int64 {
 	}
 
 	// Cache-hit pair pass: chunks are independent and read-only on engine
-	// state (concurrent cache reads are safe — nothing writes until the
-	// serial miss pass). Hits accumulate into per-chunk post vectors;
-	// misses defer.
+	// state (concurrent cache and table reads are safe — nothing writes
+	// until the serial miss pass). The declared-table bypass resolves
+	// pairs whose outputs are already interned (probeRO); remaining
+	// pairs consult the cache. Hits accumulate into per-chunk post
+	// vectors; misses defer.
 	b.post = resizeZero(b.post, len(b.states))
 	nChunks := int((m + pairChunkSlots - 1) / pairChunkSlots)
 	missByChunk := make([][]int64, nChunks)
-	var hits int64
+	var hits, tblHits int64
+	lookup := func(ida, idb int32) (int32, int32, bool, bool) {
+		if t := b.tbl; t != nil {
+			if oa, ob, ok := t.probeRO(ida, idb); ok {
+				return oa, ob, true, true
+			}
+		}
+		oa, ob, ok := b.cacheLookup(ida, idb)
+		return oa, ob, ok, false
+	}
 	if fanOut && nChunks > 1 {
 		var mu sync.Mutex
 		g := newParGroup(workers)
@@ -652,12 +676,16 @@ func (b *BatchSim[S]) runBatchSplit(kmax int64) int64 {
 			g.fork(func() {
 				localPost := make([]int64, len(b.post))
 				var localMiss []int64
-				var localHits int64
+				var localHits, localTblHits int64
 				for i := lo; i < hi; i += 2 {
-					if oa, ob, ok := b.cacheLookup(slots[i], slots[i+1]); ok {
+					if oa, ob, ok, fromTable := lookup(slots[i], slots[i+1]); ok {
 						localPost[oa]++
 						localPost[ob]++
-						localHits++
+						if fromTable {
+							localTblHits++
+						} else {
+							localHits++
+						}
 					} else {
 						localMiss = append(localMiss, i)
 					}
@@ -670,6 +698,7 @@ func (b *BatchSim[S]) runBatchSplit(kmax int64) int64 {
 					}
 				}
 				hits += localHits
+				tblHits += localTblHits
 				mu.Unlock()
 			})
 		}
@@ -677,10 +706,14 @@ func (b *BatchSim[S]) runBatchSplit(kmax int64) int64 {
 	} else {
 		var localMiss []int64
 		for i := int64(0); i < m; i += 2 {
-			if oa, ob, ok := b.cacheLookup(slots[i], slots[i+1]); ok {
+			if oa, ob, ok, fromTable := lookup(slots[i], slots[i+1]); ok {
 				b.post[oa]++
 				b.post[ob]++
-				hits++
+				if fromTable {
+					tblHits++
+				} else {
+					hits++
+				}
 			} else {
 				localMiss = append(localMiss, i)
 			}
@@ -688,6 +721,7 @@ func (b *BatchSim[S]) runBatchSplit(kmax int64) int64 {
 		missByChunk[0] = localMiss
 	}
 	b.stats.CacheHits += hits
+	b.stats.TableHits += tblHits
 
 	// Serial miss pass, in slot order: rule calls (and their randomness)
 	// happen here and only here, so the rule stream's consumption order
@@ -925,9 +959,26 @@ func (b *BatchSim[S]) collisionStep(slots []int32) []int32 {
 }
 
 // applyPair returns the post-interaction state ids for the ordered pair
-// (receiver, sender), consulting the deterministic-transition cache
-// before invoking the rule.
+// (receiver, sender), consulting the declared-table bypass first, then
+// the deterministic-transition cache, before invoking the rule.
 func (b *BatchSim[S]) applyPair(ida, idb int32) (int32, int32) {
+	if t := b.tbl; t != nil {
+		if toa, tob, ok := t.probe(ida, idb); ok {
+			b.stats.TableHits++
+			// Translate table ids back to engine ids, interning outputs
+			// not yet present — receiver first, exactly the order the
+			// rule path interns, so trajectories stay byte-identical.
+			oa := t.engOf[toa]
+			if oa < 0 {
+				oa = b.intern(t.c.states[toa])
+			}
+			ob := t.engOf[tob]
+			if ob < 0 {
+				ob = b.intern(t.c.states[tob])
+			}
+			return oa, ob
+		}
+	}
 	cached := ida < cacheMaxID && idb < cacheMaxID
 	var key uint64
 	var slot *cacheSlot
@@ -992,6 +1043,9 @@ func (b *BatchSim[S]) compact() {
 		counts = append(counts, e.c)
 	}
 	b.states, b.counts, b.pos = states, counts, pos
+	if b.tbl != nil {
+		b.tbl.rebuild(b.states)
+	}
 
 	// Ids were remapped: advance the cache generation so stale entries
 	// can never match, then carry the still-live hot transitions over

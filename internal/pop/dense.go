@@ -80,9 +80,11 @@ type DenseStats struct {
 	PairCells int64
 	// CacheHits counts interactions served from the deterministic-
 	// transition cache (with multiplicity); RuleCalls counts actual rule
-	// invocations.
+	// invocations. TableHits counts interactions resolved by the
+	// declared-table bypass (WithTable), which skips both.
 	CacheHits int64
 	RuleCalls int64
+	TableHits int64
 	// Compactions counts interning-table rebuilds.
 	Compactions int64
 }
@@ -158,6 +160,10 @@ type DenseSim[S comparable] struct {
 
 	cache    []cacheSlot
 	cacheGen uint64
+
+	// Declared-table bypass (WithTable), as in BatchSim; forwarded to
+	// delegated engines.
+	tbl *tableView[S]
 
 	// Delegation state. innerBaseDistinct is the inner engine's distinct
 	// count at hand-off (states it started with, already counted here).
@@ -241,13 +247,15 @@ func newDenseShell[S comparable](rule Rule[S], o options) *DenseSim[S] {
 	}
 	pcg := rand.NewPCG(o.seed, o.seed^0x9e3779b97f4a7c15)
 	cs := &countingSource{src: pcg}
+	tbl := attachTable[S](o)
 	d := &DenseSim[S]{
 		pcg:            pcg,
 		rng:            rand.New(pcg),
 		ruleRand:       cs,
 		ruleRng:        rand.New(cs),
 		rule:           rule,
-		pos:            make(map[S]int32, 64),
+		pos:            make(map[S]int32, posSizeFor(tbl)),
+		tbl:            tbl,
 		qMaxOverride:   o.denseThreshold,
 		batchThreshold: o.batchThreshold,
 		parOption:      o.parallelism,
@@ -276,6 +284,9 @@ func (d *DenseSim[S]) intern(s S) int32 {
 	d.counts = append(d.counts, 0)
 	d.pos[s] = id
 	d.distinct++
+	if d.tbl != nil {
+		d.tbl.noteIntern(s, id)
+	}
 	return id
 }
 
@@ -531,6 +542,9 @@ func (d *DenseSim[S]) delegate() {
 	opts := []Option{WithSeed(d.rng.Uint64()), WithParallelism(d.parOption)}
 	if d.batchThreshold > 0 {
 		opts = append(opts, WithBatchThreshold(d.batchThreshold))
+	}
+	if d.tbl != nil {
+		opts = append(opts, WithTable(d.tbl.c))
 	}
 	d.inner = NewBatchFromCounts(d.states, d.counts, d.rule, opts...)
 	d.innerBaseDistinct = d.inner.DistinctStates()
@@ -865,8 +879,19 @@ func (d *DenseSim[S]) pairRowsLeaf(mu *sync.Mutex, misses *[]denseMiss, r *rand.
 	tree.reset(snd)
 	localPost := make([]int64, len(d.post))
 	var localMisses []denseMiss
-	var hitCells, hits int64
+	var hitCells, hits, tblHits int64
 	emit := func(row int, a, b int32, k int64) {
+		if t := d.tbl; t != nil {
+			// Declared-table bypass, restricted to already-interned
+			// outputs (read-only; see tableView.probeRO).
+			if oa, ob, ok := t.probeRO(a, b); ok {
+				hitCells++
+				tblHits += k
+				localPost[oa] += k
+				localPost[ob] += k
+				return
+			}
+		}
 		if oa, ob, ok := d.cacheLookup(a, b); ok {
 			hitCells++
 			hits += k
@@ -929,6 +954,7 @@ func (d *DenseSim[S]) pairRowsLeaf(mu *sync.Mutex, misses *[]denseMiss, r *rand.
 	mu.Lock()
 	d.stats.PairCells += hitCells
 	d.stats.CacheHits += hits
+	d.stats.TableHits += tblHits
 	for id, c := range localPost {
 		if c > 0 {
 			d.addPost(int32(id), c)
@@ -1065,6 +1091,24 @@ func (d *DenseSim[S]) pairAndApply(ell int64) {
 // contract), so the remaining multiplicity shares its outputs — only
 // genuinely randomized transitions pay one rule call per interaction.
 func (d *DenseSim[S]) applyCell(ida, idb int32, mult int64) {
+	if t := d.tbl; t != nil {
+		if toa, tob, ok := t.probe(ida, idb); ok {
+			d.stats.TableHits += mult
+			// Receiver output interned first, as on the rule path, so
+			// trajectories stay byte-identical (see batch.go applyPair).
+			oa := t.engOf[toa]
+			if oa < 0 {
+				oa = d.intern(t.c.states[toa])
+			}
+			ob := t.engOf[tob]
+			if ob < 0 {
+				ob = d.intern(t.c.states[tob])
+			}
+			d.addPost(oa, mult)
+			d.addPost(ob, mult)
+			return
+		}
+	}
 	cached := ida < cacheMaxID && idb < cacheMaxID
 	var key uint64
 	var slot *cacheSlot
@@ -1180,6 +1224,9 @@ func (d *DenseSim[S]) compact() {
 		counts = append(counts, e.c)
 	}
 	d.states, d.counts, d.pos = states, counts, pos
+	if d.tbl != nil {
+		d.tbl.rebuild(d.states)
+	}
 
 	oldGen := d.cacheGen
 	d.invalidateCache()

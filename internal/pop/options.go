@@ -8,6 +8,7 @@ type options struct {
 	batchThreshold    int
 	denseThreshold    int
 	parallelism       int
+	table             any // *Compiled[S]; resolved by attachTable
 }
 
 // Option configures a simulation engine at construction time.
@@ -82,6 +83,20 @@ func WithParallelism(p int) Option {
 // it delegates to.
 func WithBatchThreshold(q int) Option {
 	return func(o *options) { o.batchThreshold = q }
+}
+
+// WithTable attaches a compiled transition table (CompileRule) to the
+// engine, which must run that table's compiled rule. The multiset
+// backends then resolve declared deterministic transitions by direct
+// table lookup instead of the randomness-counting cache probe — a
+// declared-deterministic table never invokes the rule — and pre-size
+// their interning maps for the declared state set. Trajectories are
+// byte-identical with and without the option (see table.go); it only
+// changes how transitions are resolved. The sequential engine ignores
+// it. Attaching a table compiled for a different state type panics at
+// engine construction.
+func WithTable[S comparable](c *Compiled[S]) Option {
+	return func(o *options) { o.table = c }
 }
 
 // WithDenseThreshold overrides the count-vector engine's live-state

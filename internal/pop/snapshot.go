@@ -395,21 +395,27 @@ func (d *DenseSim[S]) Snapshot() (*Snapshot[S], error) {
 // trajectory (and byte-identical future snapshots) the snapshotted engine
 // would have produced. The rule must be the one the original engine ran;
 // backend, parallelism class and thresholds come from the snapshot, not
-// from options.
-func Restore[S comparable](snap *Snapshot[S], rule Rule[S]) (Engine[S], error) {
+// from options — of the options only WithTable is honored (reattaching a
+// compiled table is trajectory-neutral, see table.go, so a run may gain
+// or lose the bypass across a snapshot boundary without diverging).
+func Restore[S comparable](snap *Snapshot[S], rule Rule[S], opts ...Option) (Engine[S], error) {
 	if rule == nil {
 		panic("pop: nil rule")
 	}
 	if err := snap.validate(); err != nil {
 		return nil, err
 	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	switch snap.Backend {
 	case Sequential.String():
 		return restoreSim(snap, rule)
 	case Batched.String():
-		return restoreBatch(snap, rule)
+		return restoreBatch(snap, rule, o)
 	default:
-		return restoreDense(snap, rule)
+		return restoreDense(snap, rule, o)
 	}
 }
 
@@ -456,7 +462,7 @@ func restoreTables[S comparable](states []S) (map[S]int32, error) {
 
 // restoreBatch rebuilds a batched engine. The transition cache starts
 // cold (generation 1, empty) by design — see the file comment.
-func restoreBatch[S comparable](snap *Snapshot[S], rule Rule[S]) (*BatchSim[S], error) {
+func restoreBatch[S comparable](snap *Snapshot[S], rule Rule[S], o options) (*BatchSim[S], error) {
 	pcg, err := restorePCG(snap.RNG)
 	if err != nil {
 		return nil, err
@@ -482,6 +488,10 @@ func restoreBatch[S comparable](snap *Snapshot[S], rule Rule[S]) (*BatchSim[S], 
 		distinct:  snap.Distinct,
 		qMax:      snap.QMax,
 		par:       snap.Par,
+		tbl:       attachTable[S](o),
+	}
+	if b.tbl != nil {
+		b.tbl.rebuild(b.states)
 	}
 	b.cache = make([]cacheSlot, 1<<cacheBits)
 	b.cacheGen = 1
@@ -506,7 +516,7 @@ func restoreBatch[S comparable](snap *Snapshot[S], rule Rule[S]) (*BatchSim[S], 
 
 // restoreDense rebuilds a dense engine, recursing into the delegated
 // BatchSim's nested snapshot when one is present.
-func restoreDense[S comparable](snap *Snapshot[S], rule Rule[S]) (*DenseSim[S], error) {
+func restoreDense[S comparable](snap *Snapshot[S], rule Rule[S], o options) (*DenseSim[S], error) {
 	pcg, err := restorePCG(snap.RNG)
 	if err != nil {
 		return nil, err
@@ -529,11 +539,12 @@ func restoreDense[S comparable](snap *Snapshot[S], rule Rule[S]) (*DenseSim[S], 
 		batchThreshold: snap.BatchThreshold,
 		par:            snap.Par,
 		parOption:      snap.ParOption,
+		tbl:            attachTable[S](o),
 	}
 	d.cache = make([]cacheSlot, 1<<denseCacheBits)
 	d.cacheGen = 1
 	if snap.Inner != nil {
-		inner, err := restoreBatch(snap.Inner, rule)
+		inner, err := restoreBatch(snap.Inner, rule, o)
 		if err != nil {
 			return nil, err
 		}
@@ -549,6 +560,9 @@ func restoreDense[S comparable](snap *Snapshot[S], rule Rule[S]) (*DenseSim[S], 
 	d.states = append([]S(nil), snap.States...)
 	d.counts = append([]int64(nil), snap.Counts...)
 	d.pos = pos
+	if d.tbl != nil {
+		d.tbl.rebuild(d.states)
+	}
 	for _, c := range d.counts {
 		d.total += c
 		if c > 0 {

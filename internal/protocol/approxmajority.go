@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
+)
+
+// The 3-state approximate-majority protocol on opinions {−1: B, 0: blank,
+// 1: A}: opposed receivers blank out, blank receivers adopt the sender's
+// opinion. With an initial gap it converges to the initial majority's
+// consensus in O(log n) parallel time w.h.p. — the classic
+// Angluin–Aspnes–Eisenstat dynamics, here written as a 4-line table.
+func amTable() pop.Table[int] {
+	return pop.Table[int]{
+		{Rec: 1, Sen: -1}: pop.To(0, -1),
+		{Rec: -1, Sen: 1}: pop.To(0, 1),
+		{Rec: 0, Sen: 1}:  pop.To(1, 1),
+		{Rec: 0, Sen: -1}: pop.To(-1, -1),
+	}
+}
+
+// AMCompiled returns the shared compiled approximate-majority table (the
+// examples walkthrough reuses it).
+func AMCompiled() *pop.Compiled[int] { return amCompiled }
+
+var amCompiled = pop.MustCompile(amTable())
+
+// amSplit is the initial configuration: a 54/46 split, A majority.
+func amSplit(n int) (a, b int64) {
+	a = (int64(n)*27 + 49) / 50
+	return a, int64(n) - a
+}
+
+func init() {
+	RegisterTable(TableSpec[int]{
+		Name:    "approxmajority",
+		Desc:    "3-state approximate majority from a 54/46 split (table-compiled)",
+		Compile: func(int) (*pop.Compiled[int], error) { return amCompiled, nil },
+		Init: func(n int, _ *rand.Rand) ([]int, []int64) {
+			a, b := amSplit(n)
+			return []int{1, -1}, []int64{a, b}
+		},
+		Converged: func(e pop.Engine[int]) bool {
+			first := true
+			opinion := 0
+			return e.All(func(s int) bool {
+				if first {
+					first, opinion = false, s
+				}
+				return s != 0 && s == opinion
+			})
+		},
+		CheckEvery: 0.5,
+		MaxTime:    func(n int) float64 { return 32*math.Log2(float64(n)) + 64 },
+		Values: func(e pop.Engine[int], ok bool, at float64) sweep.Values {
+			winner := 0.0
+			if a := e.Count(func(s int) bool { return s == 1 }); a == e.N() {
+				winner = 1
+			} else if b := e.Count(func(s int) bool { return s == -1 }); b == e.N() {
+				winner = -1
+			}
+			return sweep.Values{"converged": sweep.Bool(ok), "time": at, "winner": winner}
+		},
+		Format: func(n int, v sweep.Values) string {
+			return fmt.Sprintf("converged=%v winner=%+d correct=%v time=%.2f",
+				v["converged"] == 1, int(v["winner"]), v["winner"] == 1, v["time"])
+		},
+	})
+}

@@ -1,0 +1,131 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
+)
+
+// Approximate population counting after Berenbrink, Kaaser and Radzik
+// (arXiv:1905.11962): every agent draws a geometric level Own (P[Own = k]
+// = 2^−k) and the population two-way max-propagates the highest level,
+// whose expectation is ≈ log2 n. Alongside the maximum the agents carry a
+// duplicate flag: it is raised when two agents whose OWN draws both equal
+// the current maximum meet, and travels with the maximum from then on — a
+// duplicated maximum indicates the max underestimates log2 n slightly, so
+// the estimate is Max + Dup.
+//
+// This is the simplified first-phase variant: the full paper refines the
+// ±O(1) estimate to (1 ± ε) log n with a second aggregation phase, which
+// is out of scope here (see DESIGN.md). Rather than tracking Own
+// verbatim — which would square the state space — the table keeps only
+// the comparison the dynamics ever make: whether the agent's own draw
+// equals its current maximum (OwnMax), cleared when the agent adopts a
+// larger maximum.
+type BKRState struct {
+	Max    int
+	OwnMax bool
+	Dup    bool
+}
+
+// bkrMaxLevel caps the geometric draws; levels beyond 30 occur with
+// probability < n·2^−30, negligible at any population this repo runs.
+const bkrMaxLevel = 30
+
+// bkrNext is the two-way transition.
+func bkrNext(rec, sen BKRState) (BKRState, BKRState) {
+	switch {
+	case rec.Max == sen.Max:
+		dup := rec.Dup || sen.Dup || (rec.OwnMax && sen.OwnMax)
+		rec.Dup, sen.Dup = dup, dup
+	case rec.Max < sen.Max:
+		rec = BKRState{Max: sen.Max, OwnMax: false, Dup: sen.Dup}
+	default:
+		sen = BKRState{Max: rec.Max, OwnMax: false, Dup: rec.Dup}
+	}
+	return rec, sen
+}
+
+var bkrCompiled = sync.OnceValue(func() *pop.Compiled[BKRState] {
+	var states []BKRState
+	for m := 1; m <= bkrMaxLevel; m++ {
+		for _, own := range []bool{false, true} {
+			for _, dup := range []bool{false, true} {
+				states = append(states, BKRState{Max: m, OwnMax: own, Dup: dup})
+			}
+		}
+	}
+	tbl := pop.Table[BKRState]{}
+	for _, rec := range states {
+		for _, sen := range states {
+			if oa, ob := bkrNext(rec, sen); oa != rec || ob != sen {
+				tbl[pop.Pair[BKRState]{Rec: rec, Sen: sen}] = pop.To(oa, ob)
+			}
+		}
+	}
+	return pop.MustCompile(tbl)
+})
+
+func init() {
+	RegisterTable(TableSpec[BKRState]{
+		Name:    "bkrcount",
+		Desc:    "Berenbrink–Kaaser–Radzik counting: max of geometric levels + duplicate flag (table-compiled)",
+		Compile: func(int) (*pop.Compiled[BKRState], error) { return bkrCompiled(), nil },
+		Init: func(n int, r *rand.Rand) ([]BKRState, []int64) {
+			counts := make([]int64, bkrMaxLevel+1)
+			for i := 0; i < n; i++ {
+				l := 1
+				for l < bkrMaxLevel && r.Uint64()&1 == 1 {
+					l++
+				}
+				counts[l]++
+			}
+			var states []BKRState
+			var sc []int64
+			for l := 1; l <= bkrMaxLevel; l++ {
+				if counts[l] > 0 {
+					states = append(states, BKRState{Max: l, OwnMax: true})
+					sc = append(sc, counts[l])
+				}
+			}
+			return states, sc
+		},
+		Converged: func(e pop.Engine[BKRState]) bool {
+			first := true
+			agreed := BKRState{}
+			return e.All(func(s BKRState) bool {
+				if first {
+					first = false
+					agreed = BKRState{Max: s.Max, Dup: s.Dup}
+				}
+				return s.Max == agreed.Max && s.Dup == agreed.Dup
+			})
+		},
+		CheckEvery: 0.5,
+		MaxTime:    func(n int) float64 { return 24*math.Log2(float64(n)) + 64 },
+		Values: func(e pop.Engine[BKRState], ok bool, at float64) sweep.Values {
+			maxLevel, dup := 0, 0.0
+			for s := range e.Counts() {
+				if s.Max > maxLevel {
+					maxLevel, dup = s.Max, 0
+				}
+				if s.Max == maxLevel && s.Dup {
+					dup = 1
+				}
+			}
+			return sweep.Values{
+				"converged": sweep.Bool(ok), "time": at,
+				"estimate": float64(maxLevel) + dup,
+			}
+		},
+		Format: func(n int, v sweep.Values) string {
+			logN := math.Log2(float64(n))
+			return fmt.Sprintf("converged=%v estimate=%.0f log2(n)=%.2f err=%.2f time=%.2f",
+				v["converged"] == 1, v["estimate"], logN, math.Abs(v["estimate"]-logN), v["time"])
+		},
+	})
+}

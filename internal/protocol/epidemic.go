@@ -1,0 +1,38 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/epidemic"
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
+)
+
+// The one-way epidemic — the max-propagation primitive under every stage
+// of the size-estimation protocol — as a table-compiled zoo entry: one
+// infected agent, completion when the whole population holds the maximum
+// (Lemma A.1: O(log n) parallel time w.h.p.).
+func init() {
+	RegisterTable(TableSpec[epidemic.State]{
+		Name:    "epidemic",
+		Desc:    "one-way epidemic from a single infected agent (table-compiled; Lemma A.1 timing)",
+		Compile: func(int) (*pop.Compiled[epidemic.State], error) { return epidemic.Compiled(), nil },
+		Init: func(n int, _ *rand.Rand) ([]epidemic.State, []int64) {
+			return []epidemic.State{{Val: 1, Member: true}, {Val: 0, Member: true}},
+				[]int64{1, int64(n) - 1}
+		},
+		Converged:  epidemic.Done,
+		CheckEvery: 0.25,
+		MaxTime:    func(n int) float64 { return 24*math.Log2(float64(n)) + 64 },
+		Values: func(e pop.Engine[epidemic.State], ok bool, at float64) sweep.Values {
+			infected := e.Count(func(s epidemic.State) bool { return s.Val == 1 })
+			return sweep.Values{"converged": sweep.Bool(ok), "time": at, "infected": float64(infected)}
+		},
+		Format: func(n int, v sweep.Values) string {
+			return fmt.Sprintf("converged=%v time=%.2f time/log2(n)=%.3f infected=%d",
+				v["converged"] == 1, v["time"], v["time"]/math.Log2(float64(n)), int(v["infected"]))
+		},
+	})
+}

@@ -1,0 +1,155 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
+)
+
+// Junta election in the phase-clock style (SNIPPETS §1): every agent
+// draws a geometric level (count fair-coin heads, capped at juntaLevels(n))
+// and then walks a door-gated counter. Even counters 2i are "working in
+// round i" and always advance; odd counters 2i+1 are "at door i" and
+// advance only on evidence the protocol is still climbing — the sender is
+// eager (its round is below its own level) or the sender's counter is
+// ahead. When no eager agent remains the doors freeze and the whole
+// population settles at one door; the junta is the set of agents at the
+// maximum level, which has size O(polylog n) w.h.p. and is what the
+// phase-clock constructions hand their clock to.
+//
+// This is a compact single-counter variant of the interval-based original:
+// round membership G_i collapses to the single counter value 2i, and the
+// door-opening witness is the sender's eagerness or counter lead rather
+// than interval containment. The deterministic transition table is
+// enumerated programmatically over the (level, counter) grid — the DSL is
+// data, so a protocol with a few hundred states is built by a loop, not
+// by hand.
+type JuntaState struct {
+	Level   int
+	Counter int
+}
+
+// juntaLevels caps the geometric levels: one above the expected maximum
+// log2 n, bounded so the (level, counter) grid stays a few hundred states.
+func juntaLevels(n int) int {
+	return min(int(math.Ceil(math.Log2(float64(n))))+2, 16)
+}
+
+// juntaNext is the receiver update; senders never change.
+func juntaNext(rec, sen JuntaState, maxCounter int) JuntaState {
+	if rec.Counter >= maxCounter {
+		return rec // terminal cap
+	}
+	if rec.Counter%2 == 0 {
+		rec.Counter++ // working: advance to this round's door
+		return rec
+	}
+	senEager := sen.Counter/2 < sen.Level
+	if senEager || sen.Counter > rec.Counter {
+		rec.Counter++ // door opens: enter the next round
+	}
+	return rec
+}
+
+var (
+	juntaMu       sync.Mutex
+	juntaCompiled = map[int]*pop.Compiled[JuntaState]{}
+)
+
+// juntaCompile enumerates and compiles the table for the level cap L,
+// cached per L (only a handful of caps exist across all n).
+func juntaCompile(n int) (*pop.Compiled[JuntaState], error) {
+	L := juntaLevels(n)
+	juntaMu.Lock()
+	defer juntaMu.Unlock()
+	if c, ok := juntaCompiled[L]; ok {
+		return c, nil
+	}
+	maxCounter := 2*L + 1
+	states := make([]JuntaState, 0, (L+1)*(maxCounter+1))
+	for l := 0; l <= L; l++ {
+		for cnt := 0; cnt <= maxCounter; cnt++ {
+			states = append(states, JuntaState{Level: l, Counter: cnt})
+		}
+	}
+	tbl := pop.Table[JuntaState]{}
+	for _, rec := range states {
+		for _, sen := range states {
+			if out := juntaNext(rec, sen, maxCounter); out != rec {
+				tbl[pop.Pair[JuntaState]{Rec: rec, Sen: sen}] = pop.To(out, sen)
+			}
+		}
+	}
+	c, err := pop.CompileRule(tbl)
+	if err != nil {
+		return nil, err
+	}
+	juntaCompiled[L] = c
+	return c, nil
+}
+
+func init() {
+	Register(Info{
+		Name:       "junta",
+		Desc:       "phase-clock junta election via geometric levels and door-gated counters (table-compiled)",
+		Trajectory: true,
+		New: func(cfg Config) (*Runner, error) {
+			return newTableRunner(TableSpec[JuntaState]{
+				Name:    "junta",
+				Compile: juntaCompile,
+				Init: func(n int, r *rand.Rand) ([]JuntaState, []int64) {
+					L := juntaLevels(n)
+					counts := make([]int64, L+1)
+					for i := 0; i < n; i++ {
+						l := 0
+						for l < L && r.Uint64()&1 == 1 {
+							l++
+						}
+						counts[l]++
+					}
+					states := make([]JuntaState, L+1)
+					for l := range states {
+						states[l] = JuntaState{Level: l}
+					}
+					return states, counts
+				},
+				Converged: func(e pop.Engine[JuntaState]) bool {
+					first := true
+					door := 0
+					return e.All(func(s JuntaState) bool {
+						if first {
+							first, door = false, s.Counter
+						}
+						return s.Counter%2 == 1 && s.Counter == door
+					})
+				},
+				CheckEvery: 1,
+				MaxTime: func(n int) float64 {
+					l := math.Log2(float64(n))
+					return 24*l*l + 256
+				},
+				Values: func(e pop.Engine[JuntaState], ok bool, at float64) sweep.Values {
+					maxLevel, door := 0, 0
+					for s := range e.Counts() {
+						maxLevel = max(maxLevel, s.Level)
+						door = max(door, s.Counter)
+					}
+					junta := e.Count(func(s JuntaState) bool { return s.Level == maxLevel })
+					return sweep.Values{
+						"converged": sweep.Bool(ok), "time": at, "junta": float64(junta),
+						"maxlevel": float64(maxLevel), "door": float64(door),
+					}
+				},
+				Format: func(n int, v sweep.Values) string {
+					return fmt.Sprintf("converged=%v junta=%d maxlevel=%d (log2(n)=%.1f) door=%d time=%.1f",
+						v["converged"] == 1, int(v["junta"]), int(v["maxlevel"]),
+						math.Log2(float64(n)), int(v["door"]), v["time"])
+				},
+			}, cfg)
+		},
+	})
+}

@@ -1,0 +1,69 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
+)
+
+// Repeated majority with an undecided "?" state (SNIPPETS §3): a decided
+// receiver meeting the opposite opinion becomes undecided, and an
+// undecided receiver adopts the sender's opinion. Unlike approximate
+// majority there is no third opinion-destroying interaction — "?" is a
+// pure relay — so the dynamics are the undecided-state majority building
+// block that repeated-majority constructions iterate.
+const rmUndecided = 2 // states: 0, 1 (opinions), 2 ("?")
+
+func rmTable() pop.Table[int] {
+	return pop.Table[int]{
+		{Rec: 0, Sen: 1}:           pop.To(rmUndecided, 1),
+		{Rec: 1, Sen: 0}:           pop.To(rmUndecided, 0),
+		{Rec: rmUndecided, Sen: 0}: pop.To(0, 0),
+		{Rec: rmUndecided, Sen: 1}: pop.To(1, 1),
+	}
+}
+
+var rmCompiled = pop.MustCompile(rmTable())
+
+func init() {
+	RegisterTable(TableSpec[int]{
+		Name:    "repeatmajority",
+		Desc:    "undecided-state (\"?\") majority from a 52/48 split, opinion 1 majority (table-compiled)",
+		Compile: func(int) (*pop.Compiled[int], error) { return rmCompiled, nil },
+		Init: func(n int, _ *rand.Rand) ([]int, []int64) {
+			ones := (int64(n)*13 + 12) / 25
+			return []int{1, 0}, []int64{ones, int64(n) - ones}
+		},
+		Converged: func(e pop.Engine[int]) bool {
+			first := true
+			opinion := 0
+			return e.All(func(s int) bool {
+				if first {
+					first, opinion = false, s
+				}
+				return s != rmUndecided && s == opinion
+			})
+		},
+		CheckEvery: 0.5,
+		MaxTime:    func(n int) float64 { return 48*math.Log2(float64(n)) + 96 },
+		Values: func(e pop.Engine[int], ok bool, at float64) sweep.Values {
+			winner := -1.0
+			if e.Count(func(s int) bool { return s == 1 }) == e.N() {
+				winner = 1
+			} else if e.Count(func(s int) bool { return s == 0 }) == e.N() {
+				winner = 0
+			}
+			return sweep.Values{
+				"converged": sweep.Bool(ok), "time": at, "winner": winner,
+				"correct": sweep.Bool(winner == 1),
+			}
+		},
+		Format: func(n int, v sweep.Values) string {
+			return fmt.Sprintf("converged=%v winner=%d correct=%v time=%.2f",
+				v["converged"] == 1, int(v["winner"]), v["correct"] == 1, v["time"])
+		},
+	})
+}

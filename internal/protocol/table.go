@@ -1,0 +1,209 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
+)
+
+// initSeedMix derives the initial-configuration rng stream from a trial
+// seed. It differs from the engines' own stream constant
+// (seed^0x9e3779b97f4a7c15, see pop's constructors), so a protocol that
+// randomizes its initial configuration never replays the scheduler's
+// draws.
+const initSeedMix = 0xd1342543de82ef95
+
+// initRand returns the rng a table protocol's Init draws from for one
+// trial.
+func initRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^initSeedMix))
+}
+
+// TableSpec declares one table-compiled protocol for the registry: the
+// compiled transition table (possibly population-size-dependent), the
+// initial configuration, the convergence predicate, and the metric
+// extraction. RegisterTable wraps it in the generic harness, which
+// uniformly provides engine construction honoring the backend selection,
+// the declared-table bypass (pop.WithTable), history streams,
+// snapshot/restore instrumentation and -stats counters.
+type TableSpec[S comparable] struct {
+	Name string
+	Desc string
+	// Compile returns the compiled table for population size n. Protocols
+	// whose state space is size-independent return a shared Compiled.
+	Compile func(n int) (*pop.Compiled[S], error)
+	// Init builds the initial configuration as a state-count multiset; r
+	// is a per-trial stream disjoint from the engine's (protocols with
+	// deterministic initial configurations ignore it).
+	Init func(n int, r *rand.Rand) (states []S, counts []int64)
+	// Converged stops the run; CheckEvery (default 1) is the predicate's
+	// evaluation interval in parallel time and MaxTime(n) bounds the run.
+	Converged  func(e pop.Engine[S]) bool
+	CheckEvery float64
+	MaxTime    func(n int) float64
+	// Values extracts the recorded per-trial metrics; Format renders them
+	// as the per-trial output line.
+	Values func(e pop.Engine[S], converged bool, at float64) sweep.Values
+	Format func(n int, v sweep.Values) string
+}
+
+// RegisterTable registers a table-compiled protocol. Every such protocol
+// supports trajectory instrumentation.
+func RegisterTable[S comparable](sp TableSpec[S]) {
+	Register(Info{
+		Name:       sp.Name,
+		Desc:       sp.Desc,
+		Trajectory: true,
+		New:        func(cfg Config) (*Runner, error) { return newTableRunner(sp, cfg) },
+	})
+}
+
+func newTableRunner[S comparable](sp TableSpec[S], cfg Config) (*Runner, error) {
+	n := cfg.N
+	var restore *pop.Snapshot[S]
+	note := ""
+	if cfg.Traj != nil && cfg.Traj.RestorePath != "" {
+		snap, err := pop.ReadSnapshotFile[S](cfg.Traj.RestorePath)
+		if err != nil {
+			return nil, fmt.Errorf("-restore: %w", err)
+		}
+		restore = snap
+		n = snap.N
+		note = fmt.Sprintf("restoring from %s: backend=%s n=%d", cfg.Traj.RestorePath, snap.Backend, snap.N)
+	}
+	c, err := sp.Compile(n)
+	if err != nil {
+		return nil, fmt.Errorf("compiling %s table: %w", sp.Name, err)
+	}
+	rule := c.Rule()
+	checkEvery := sp.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+
+	var statsMu sync.Mutex
+	statsLines := make(map[int]string, cfg.Trials)
+
+	run := func(tr int, seed uint64) sweep.Values {
+		tag := ""
+		if cfg.Trials > 1 {
+			tag = fmt.Sprintf("t%d", tr)
+		}
+		var e pop.Engine[S]
+		if restore != nil {
+			var err error
+			e, err = pop.Restore(restore, rule, c.Option())
+			if err != nil {
+				cfg.Fail(fmt.Errorf("trial %d: restoring %s: %w", tr, cfg.Traj.RestorePath, err))
+				return sweep.Values{}
+			}
+		} else {
+			states, counts := sp.Init(n, initRand(seed))
+			e = pop.NewEngineFromCounts(states, counts, rule,
+				append(cfg.engineOpts(seed), c.Option())...)
+		}
+
+		pred := sp.Converged
+		var snapErr error
+		snapDone := false
+		takeSnapshot := func() {
+			s, ok := e.(interface {
+				Snapshot() (*pop.Snapshot[S], error)
+			})
+			if !ok {
+				snapErr = fmt.Errorf("backend %T does not snapshot", e)
+				return
+			}
+			snap, err := s.Snapshot()
+			if err == nil {
+				err = pop.WriteSnapshotFile(TagPath(cfg.Traj.SnapshotPath, tag), snap)
+			}
+			if err != nil && snapErr == nil {
+				snapErr = err
+			}
+			snapDone = true
+		}
+		if cfg.Traj != nil && cfg.Traj.SnapshotPath != "" && cfg.Traj.SnapshotAt > 0 {
+			at := cfg.Traj.SnapshotAt
+			inner := pred
+			pred = func(e pop.Engine[S]) bool {
+				if !snapDone && e.Time() >= at {
+					takeSnapshot()
+				}
+				return inner(e)
+			}
+		}
+
+		var hist *pop.History[S]
+		var ok bool
+		var at float64
+		if cfg.Traj != nil && cfg.Traj.HistoryPath != "" {
+			hist = pop.NewHistory[S](cfg.Traj.HistoryEvery)
+			ok, at = hist.RunUntil(e, pred, checkEvery, sp.MaxTime(n))
+		} else {
+			ok, at = e.RunUntil(pred, checkEvery, sp.MaxTime(n))
+		}
+		if cfg.Traj != nil && cfg.Traj.SnapshotPath != "" && !snapDone {
+			takeSnapshot()
+		}
+		if snapErr != nil {
+			cfg.Fail(fmt.Errorf("trial %d: writing snapshot: %w", tr, snapErr))
+		}
+		if hist != nil {
+			if err := writeHistoryFile(TagPath(cfg.Traj.HistoryPath, tag), hist); err != nil {
+				cfg.Fail(fmt.Errorf("trial %d: %w", tr, err))
+			}
+		}
+		if cfg.CollectStats {
+			line := "no transition-resolution stats (sequential backend calls the rule directly)"
+			if cs, have := pop.EngineCacheStats(e); have {
+				line = fmt.Sprintf("table=%d cache=%d rule=%d", cs.TableHits, cs.CacheHits, cs.RuleCalls)
+			}
+			statsMu.Lock()
+			statsLines[tr] = line
+			statsMu.Unlock()
+		}
+		return sp.Values(e, ok, at)
+	}
+
+	return &Runner{
+		N:    n,
+		Note: note,
+		Run:  run,
+		Format: func(v sweep.Values) string {
+			return sp.Format(n, v)
+		},
+		StatsLines: func() []string {
+			statsMu.Lock()
+			defer statsMu.Unlock()
+			lines := make([]string, 0, len(statsLines))
+			for tr := 0; tr < cfg.Trials; tr++ {
+				if line, have := statsLines[tr]; have {
+					lines = append(lines, fmt.Sprintf("trial %d: %s", tr, line))
+				}
+			}
+			return lines
+		},
+	}, nil
+}
+
+// writeHistoryFile streams a run's sampled trajectory as HistoryRecord
+// JSONL (the same format expt.RunCore writes for the main protocol).
+func writeHistoryFile[S comparable](path string, hist *pop.History[S]) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating history stream: %w", err)
+	}
+	werr := sweep.WriteHistory(fh, sweep.HistoryRecords(hist.Samples()))
+	if cerr := fh.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("writing history %s: %w", path, werr)
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnknownName is the shared selection error for name-keyed lookups — the
+// protocol registry behind cmd/popsim's -protocol and cmd/experiments'
+// -only both route through it, so every "no such thing" message names the
+// things that do exist.
+func UnknownName(kind, got string, available []string) error {
+	return fmt.Errorf("unknown %s %q (available: %s)", kind, got, strings.Join(available, ", "))
+}

@@ -97,6 +97,24 @@
 // (RunOptions.History; -history/-history-dt streams it as JSONL). The
 // churn tracker checkpoints its own state alongside the engine and
 // resumes exactly. See DESIGN.md §1.3.
+//
+// # Declarative protocol tables and the protocol zoo
+//
+// Beyond the paper's pipeline, protocols small enough to write as data
+// are declared as transition tables: the internal pop.Table maps
+// ordered (receiver, sender) state pairs to outcomes — deterministic, or
+// weighted randomized branches — and compiles into an executable rule
+// plus metadata (declared state set, per-pair determinism, a dense
+// transition matrix) that the multiset engines exploit to resolve
+// interactions by table lookup, byte-identically to the rule-closure
+// path. The internal protocol registry maps names to runnable
+// protocols; cmd/popsim's -protocol flag dispatches on it, covering the
+// estimation pipeline and its baselines plus a table-compiled zoo
+// (epidemic, 3-state approximate majority, undecided-state majority,
+// phase-clock junta election, Berenbrink–Kaaser–Radzik counting), all
+// of which support the snapshot/history instrumentation above. See
+// DESIGN.md §1.4 and examples/approxmajority (the 4-line
+// approximate-majority table at n = 10⁹).
 package popsize
 
 import (

@@ -33,6 +33,31 @@ for backend in seq batch dense; do
   echo "restore-then-run byte-identical"
 done
 
+# Table-compiled protocol: the same gate through the registry's generic
+# table harness (internal/protocol) instead of the core pipeline's
+# trajectory plumbing — the declared-table bypass must not perturb the
+# schedule across a snapshot/restore boundary on any backend.
+for backend in seq batch dense; do
+  echo "== protocol=approxmajority backend=$backend =="
+  "$workdir/popsim" -protocol approxmajority -n "$N" -trials 1 -seed "$SEED" \
+    -backend "$backend" -snapshot "$workdir/am_final_a.json" >/dev/null
+  "$workdir/popsim" -protocol approxmajority -n "$N" -trials 1 -seed "$SEED" \
+    -backend "$backend" -snapshot "$workdir/am_mid.json" -snapshot-at 4 >/dev/null
+  "$workdir/popsim" -protocol approxmajority -trials 1 \
+    -restore "$workdir/am_mid.json" -snapshot "$workdir/am_final_b.json" >/dev/null
+  cmp "$workdir/am_final_a.json" "$workdir/am_final_b.json"
+  echo "restore-then-run byte-identical"
+done
+
+# The bypass actually carries the run: the batched backends must resolve
+# every interaction from the compiled table, never the rule closure.
+if ! "$workdir/popsim" -protocol approxmajority -n "$N" -trials 1 -seed "$SEED" \
+    -backend batch -stats | grep -q 'rule=0'; then
+  echo "table bypass incomplete: expected rule=0 in -stats output" >&2
+  exit 1
+fi
+echo "table bypass covers the full run (rule=0)"
+
 # History stream: valid JSONL (every line parses), sampled on the Δ grid.
 "$workdir/popsim" "${base[@]}" -backend batch \
   -history "$workdir/hist.jsonl" -history-dt 5 >/dev/null
