@@ -28,6 +28,7 @@
 package churn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -186,7 +187,7 @@ func Merge(scheds ...Schedule) Schedule {
 // relative time until, with every event before until applied.
 func Apply[S comparable](e pop.Engine[S], sched Schedule, join S, until, tickEvery float64, tick func(now float64)) {
 	base := e.Time()
-	drive(sched, until, tickEvery,
+	drive(context.Background(), sched, until, tickEvery,
 		func() float64 { return e.Time() - base },
 		func(dt float64) { e.RunTime(dt) },
 		e.Step,
@@ -207,11 +208,13 @@ func Apply[S comparable](e pop.Engine[S], sched Schedule, join S, until, tickEve
 // loop always makes progress, fires due events (those at or past the
 // horizon do not fire), and calls tick at its cadence. The engine is
 // reached only through the callbacks, so Track can swap engines inside a
-// tick (a restart) without the loop noticing.
-func drive(sched Schedule, until, tickEvery float64,
+// tick (a restart) without the loop noticing. Canceling ctx stops the
+// loop at the next advance boundary — the same granularity a tick has —
+// leaving the driven state consistent (no event half-applied).
+func drive(ctx context.Context, sched Schedule, until, tickEvery float64,
 	now func() float64, run func(dt float64), step func(),
 	event func(Event), tick func(t float64)) {
-	driveFrom(sched, math.Inf(-1), until, tickEvery, now, run, step, event, tick)
+	driveFrom(ctx, sched, math.Inf(-1), until, tickEvery, now, run, step, event, tick)
 }
 
 // driveFrom is drive resuming mid-schedule: events at or before `from`
@@ -220,7 +223,7 @@ func drive(sched Schedule, until, tickEvery float64,
 // advances it — restarts at the first point past `from`. ResumeTrack uses
 // it with from = the checkpoint time; drive passes -Inf (nothing skipped).
 // now() must already report a time of at least `from` when called.
-func driveFrom(sched Schedule, from, until, tickEvery float64,
+func driveFrom(ctx context.Context, sched Schedule, from, until, tickEvery float64,
 	now func() float64, run func(dt float64), step func(),
 	event func(Event), tick func(t float64)) {
 	if err := sched.Validate(); err != nil {
@@ -237,7 +240,7 @@ func driveFrom(sched Schedule, from, until, tickEvery float64,
 	for i < len(sched) && sched[i].At <= from+timeEps {
 		i++
 	}
-	for t := now(); t < until-timeEps; t = now() {
+	for t := now(); t < until-timeEps && ctx.Err() == nil; t = now() {
 		next := until
 		if i < len(sched) && sched[i].At < next {
 			next = math.Max(sched[i].At, t)

@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -317,6 +318,45 @@ func TestTrackCheckpointResume(t *testing.T) {
 		parsed.Version = 99
 		if _, err := ResumeTrack(cfg, parsed, sched, until); err == nil {
 			t.Errorf("backend %v: version-99 checkpoint accepted", be)
+		}
+	}
+}
+
+// TestTrackContextCancel: canceling the driver's context stops the tracked
+// run at the next advance boundary, and the samples taken up to that point
+// are exactly the uninterrupted run's prefix (the trajectory depends only
+// on the seed). The checkpoint sink doubles as a deterministic mid-run
+// cancellation hook: it fires at the first tick at or after CheckpointAt.
+func TestTrackContextCancel(t *testing.T) {
+	const (
+		n     = 300
+		seed  = 11
+		until = 20.0
+	)
+	full := Track(TrackerConfig{Protocol: trackConfig()}, n, nil, seed, until)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	partial := TrackContext(ctx, TrackerConfig{
+		Protocol:     trackConfig(),
+		CheckpointAt: 5,
+		CheckpointSink: func(*TrackCheckpoint) {
+			cancel()
+		},
+	}, n, nil, seed, until)
+
+	if len(partial.Samples) == 0 || len(partial.Samples) >= len(full.Samples) {
+		t.Fatalf("canceled run took %d samples (uninterrupted: %d), want a strict nonempty prefix",
+			len(partial.Samples), len(full.Samples))
+	}
+	eqNaN := func(a, b float64) bool {
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	for i, s := range partial.Samples {
+		f := full.Samples[i]
+		if s.At != f.At || s.N != f.N || s.Restarts != f.Restarts ||
+			!eqNaN(s.Estimate, f.Estimate) || !eqNaN(s.Err, f.Err) || !eqNaN(s.AdoptedAt, f.AdoptedAt) {
+			t.Fatalf("canceled run diverges at sample %d: %+v vs %+v", i, s, f)
 		}
 	}
 }

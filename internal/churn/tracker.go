@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -154,9 +155,18 @@ func (r Result) DetectionLatency(eventAt, errTol float64) (detect, settle float6
 // protocol-level global restart) with a fresh seed derived from the
 // restart ordinal; global time continues across the rebuild.
 func Track(cfg TrackerConfig, n0 int, sched Schedule, seed uint64, until float64) Result {
+	return TrackContext(context.Background(), cfg, n0, sched, seed, until)
+}
+
+// TrackContext is Track under external cancellation: canceling ctx stops
+// the driver loop at the next advance boundary, and the Result covers the
+// samples taken so far. A canceled tracked run is still deterministic up
+// to its stopping point — the engine trajectory depends only on the seed,
+// so the samples it did take match an uninterrupted run's prefix.
+func TrackContext(ctx context.Context, cfg TrackerConfig, n0 int, sched Schedule, seed uint64, until float64) Result {
 	tr := newTracker(cfg, seed)
 	tr.spawn(n0)
-	drive(sched, until, tr.tickEvery, tr.now, tr.run, tr.step, tr.event, tr.tick)
+	drive(ctx, sched, until, tr.tickEvery, tr.now, tr.run, tr.step, tr.event, tr.tick)
 	return tr.finish()
 }
 
@@ -186,7 +196,7 @@ func ResumeTrack(cfg TrackerConfig, ck *TrackCheckpoint, sched Schedule, until f
 	tr.held = float64(ck.Held)
 	tr.adoptedAt = float64(ck.AdoptedAt)
 	tr.ckDone = true // never re-checkpoint a resumed run
-	driveFrom(sched, ck.At, until, tr.tickEvery, tr.now, tr.run, tr.step, tr.event, tr.tick)
+	driveFrom(context.Background(), sched, ck.At, until, tr.tickEvery, tr.now, tr.run, tr.step, tr.event, tr.tick)
 	return tr.finish(), nil
 }
 

@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/sweep"
+	"github.com/popsim/popsize/internal/synthcoin"
+)
+
+// Suite is a resolved sweep request: the selected experiment defs in index
+// order, their combined points (the work queue a command or the daemon
+// submits), and the sizing parameters the defs were built with (renderers
+// like Fig2Points need them back).
+type Suite struct {
+	Defs   []Def
+	Points []sweep.Point
+	Params Params
+}
+
+// Resolve turns a serializable sweep request into the sized experiment
+// suite it selects: the sizing preset comes from req.Quick, req.Ns
+// overrides the primary population-size grid (Params.Ns; the BigNs grid
+// and the fixed-size ablation/bound experiments keep their preset sizes),
+// req.Trials overrides the per-point trial count, and req.Experiments
+// picks the defs (empty = all). An unknown experiment id fails with the
+// shared sweep.UnknownName error naming every id that does exist — the
+// same message shape whether the request came from cmd/experiments' -only
+// flag or the daemon's POST /v1/jobs body.
+//
+// Resolve is the one id-to-points catalog: cmd/experiments and cmd/popsimd
+// both route through it, so a job submitted over HTTP runs exactly the
+// trials the CLI would.
+func Resolve(req sweep.SpecRequest) (Suite, error) {
+	if err := req.Validate(); err != nil {
+		return Suite{}, err
+	}
+	p := DefaultParams()
+	if req.Quick {
+		p = QuickParams()
+	}
+	if len(req.Ns) > 0 {
+		p.Ns = req.Ns
+	}
+	if req.Trials > 0 {
+		p.Trials = req.Trials
+	}
+	defs := DefaultDefs(core.FastConfig(), synthcoin.FastConfig(), p)
+
+	ids := make([]string, 0, len(defs))
+	byID := make(map[string]Def, len(defs))
+	for _, d := range defs {
+		ids = append(ids, d.ID)
+		byID[d.ID] = d
+	}
+	suite := Suite{Params: p}
+	if len(req.Experiments) == 0 {
+		suite.Defs = defs
+	} else {
+		selected := map[string]bool{}
+		for _, id := range req.Experiments {
+			if _, ok := byID[id]; !ok {
+				return Suite{}, sweep.UnknownName("experiment", id, ids)
+			}
+			selected[id] = true
+		}
+		// Keep index order regardless of the request's order, so reports
+		// and record streams stay canonical.
+		for _, d := range defs {
+			if selected[d.ID] {
+				suite.Defs = append(suite.Defs, d)
+			}
+		}
+	}
+	for _, d := range suite.Defs {
+		suite.Points = append(suite.Points, d.Points...)
+	}
+	return suite, nil
+}
+
+// ResolvePoints adapts Resolve to the point-resolver shape the jobs
+// subsystem consumes (it has no use for the defs or params).
+func ResolvePoints(req sweep.SpecRequest) ([]sweep.Point, error) {
+	suite, err := Resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	return suite.Points, nil
+}

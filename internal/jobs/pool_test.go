@@ -1,0 +1,99 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// waitWaiters blocks until the pool holds exactly want queued waiters.
+func waitWaiters(t *testing.T, p *Pool, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.mu.Lock()
+		n := 0
+		for _, c := range p.ring {
+			n += len(c.waiters)
+		}
+		p.mu.Unlock()
+		if n == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never reached %d waiters (have %d)", want, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPoolRoundRobin distinguishes the pool's rotation from a global FIFO:
+// with client a queueing two waiters before client b queues one, FIFO
+// would grant a, a, b — the rotation must grant a, b, a.
+func TestPoolRoundRobin(t *testing.T) {
+	p := NewPool(1)
+	a, b := p.Client(), p.Client()
+	holder := p.Client()
+	if err := holder.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	grants := make(chan string, 3)
+	spawn := func(c *PoolClient, label string) {
+		go func() {
+			if err := c.Acquire(context.Background()); err != nil {
+				t.Errorf("%s: %v", label, err)
+				grants <- "error"
+				return
+			}
+			grants <- label
+			c.Release()
+		}()
+	}
+	spawn(a, "a1")
+	waitWaiters(t, p, 1)
+	spawn(a, "a2")
+	waitWaiters(t, p, 2)
+	spawn(b, "b1")
+	waitWaiters(t, p, 3)
+
+	holder.Release()
+	got := []string{<-grants, <-grants, <-grants}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v (round-robin across clients)", got, want)
+		}
+	}
+}
+
+// TestPoolAcquireCancel checks that a canceled waiter neither blocks nor
+// leaks: after the cancellation, a release banks the slot as free again.
+func TestPoolAcquireCancel(t *testing.T) {
+	p := NewPool(1)
+	holder := p.Client()
+	if err := holder.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Client()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.Acquire(ctx) }()
+	waitWaiters(t, p, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled acquire returned %v, want context.Canceled", err)
+	}
+	holder.Release()
+	p.mu.Lock()
+	free, ring := p.free, len(p.ring)
+	p.mu.Unlock()
+	if free != 1 || ring != 0 {
+		t.Fatalf("after cancel+release: free=%d ring=%d, want 1 free and empty ring", free, ring)
+	}
+	// The slot must still be grantable.
+	if err := c.Acquire(context.Background()); err != nil {
+		t.Fatalf("reacquire after cancel: %v", err)
+	}
+	c.Release()
+}

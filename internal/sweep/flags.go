@@ -1,26 +1,26 @@
 package sweep
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-
-	"github.com/popsim/popsize/internal/pop"
 )
 
 // Flags bundles the command-line surface shared by the sweep-driven
-// commands (cmd/experiments, cmd/fig2, cmd/popsim): backend selection,
-// worker-pool size, base seed, and the JSONL checkpoint/stream. Register
-// attaches them to a FlagSet so the three commands stay flag-compatible by
-// construction instead of by three hand-maintained copies.
+// commands (cmd/experiments, cmd/fig2, cmd/popsim). The serializable knobs
+// — backend, workers, par, seed, and the experiment/grid selection the
+// commands bind to their own flags — live in the embedded SpecRequest, so
+// the CLI and the popsimd daemon's job submissions share one source of
+// truth for defaults and validation. JSONL/Resume (the local checkpoint
+// file) and the trajectory instrumentation are invocation-local and stay
+// here.
 type Flags struct {
-	Backend string
-	Workers int
-	Par     int
-	Seed    uint64
-	JSONL   string
-	Resume  bool
+	SpecRequest
+
+	JSONL  string
+	Resume bool
 
 	// Trajectory flags (single-run instrumentation; see expt.ConfigureTrajectory):
 	// History streams a sampled configuration trajectory (one HistoryRecord
@@ -53,54 +53,74 @@ func Register(fs *flag.FlagSet, defaultJSONL string) *Flags {
 	return f
 }
 
-// ParseBackend parses the -backend flag value.
-func (f *Flags) ParseBackend() (pop.Backend, error) { return pop.ParseBackend(f.Backend) }
-
-// Execute runs points under the flags: it parses the backend, loads the
-// JSONL checkpoint when -resume is set (truncating the file otherwise),
-// streams new records, and returns the merged results. onRecord (optional)
-// observes every record, resumed and fresh.
-func (f *Flags) Execute(points []Point, onRecord func(Record)) (*Results, error) {
-	be, err := f.ParseBackend()
-	if err != nil {
-		return nil, err
+// OpenCheckpoint prepares the record stream at path — the one definition
+// of "open a sweep checkpoint for writing", shared by the CLI commands
+// (Flags.Execute) and the daemon's per-job runner. With resume set it
+// loads the existing records into a Done map and opens the file for
+// append, truncating any torn tail first so a rerun record cannot coexist
+// with its half-written predecessor; otherwise it truncates the whole
+// file. An empty path returns (nil, nil, nil): no stream, no checkpoint.
+// The caller owns closing out.
+func OpenCheckpoint(path string, resume bool) (done map[Key]Record, out *os.File, err error) {
+	if path == "" {
+		return nil, nil, nil
 	}
+	if resume {
+		done, validLen, err := loadCheckpointTrim(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading checkpoint %s: %w", path, err)
+		}
+		out, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := out.Truncate(validLen); err != nil {
+			out.Close()
+			return nil, nil, err
+		}
+		if _, err := out.Seek(validLen, io.SeekStart); err != nil {
+			out.Close()
+			return nil, nil, err
+		}
+		return done, out, nil
+	}
+	out, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, out, nil
+}
+
+// Execute runs points under the flags with no external cancellation; it is
+// ExecuteContext(context.Background(), points, onRecord).
+func (f *Flags) Execute(points []Point, onRecord func(Record)) (*Results, error) {
+	return f.ExecuteContext(context.Background(), points, onRecord)
+}
+
+// ExecuteContext runs points under the flags: it binds the embedded
+// request to the points, loads the JSONL checkpoint when -resume is set
+// (truncating the file otherwise), streams new records, and returns the
+// merged results. Canceling ctx stops the sweep between units — completed
+// trials stay checkpointed, and ctx's error is returned so the command can
+// tell an interrupt from a failure. onRecord (optional) observes every
+// record, resumed and fresh.
+func (f *Flags) ExecuteContext(ctx context.Context, points []Point, onRecord func(Record)) (*Results, error) {
 	if f.Resume && f.JSONL == "" {
 		return nil, fmt.Errorf("-resume requires -jsonl (there is no checkpoint file to resume from)")
 	}
-	spec := Spec{Points: points, BaseSeed: f.Seed, Backend: be, Workers: f.Workers, Par: f.Par}
-	opt := Options{OnRecord: onRecord}
-	if f.JSONL != "" {
-		if f.Resume {
-			done, validLen, err := loadCheckpointTrim(f.JSONL)
-			if err != nil {
-				return nil, fmt.Errorf("loading checkpoint %s: %w", f.JSONL, err)
-			}
-			opt.Done = done
-			out, err := os.OpenFile(f.JSONL, os.O_CREATE|os.O_WRONLY, 0o644)
-			if err != nil {
-				return nil, err
-			}
-			// Drop any torn tail so a rerun record cannot coexist with
-			// its half-written predecessor, then append.
-			if err := out.Truncate(validLen); err != nil {
-				out.Close()
-				return nil, err
-			}
-			if _, err := out.Seek(validLen, io.SeekStart); err != nil {
-				out.Close()
-				return nil, err
-			}
-			defer out.Close()
-			opt.Out = out
-		} else {
-			out, err := os.OpenFile(f.JSONL, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-			if err != nil {
-				return nil, err
-			}
-			defer out.Close()
-			opt.Out = out
-		}
+	spec, err := f.SpecRequest.Spec(points)
+	if err != nil {
+		return nil, err
 	}
-	return Run(spec, opt)
+	opt := Options{OnRecord: onRecord}
+	done, out, err := OpenCheckpoint(f.JSONL, f.Resume)
+	if err != nil {
+		return nil, err
+	}
+	if out != nil {
+		defer out.Close()
+		opt.Out = out
+	}
+	opt.Done = done
+	return RunContext(ctx, spec, opt)
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -31,6 +32,37 @@ func (k Key) Less(o Key) bool {
 		return k.N < o.N
 	}
 	return k.Trial < o.Trial
+}
+
+// ID renders the key as its wire identifier, "experiment|n|trial" — the
+// event id of a record in the service's stream, which a client hands back
+// (Last-Event-ID header or ?after= query) to resume from where it left
+// off. Experiment labels use '/', '=', ',' and '.' freely; ParseKeyID
+// splits on the *last* two '|' so even a '|' inside a label would survive.
+func (k Key) ID() string {
+	return fmt.Sprintf("%s|%d|%d", k.Experiment, k.N, k.Trial)
+}
+
+// ParseKeyID is the inverse of Key.ID.
+func ParseKeyID(s string) (Key, error) {
+	last := strings.LastIndexByte(s, '|')
+	if last < 0 {
+		return Key{}, fmt.Errorf("sweep: record id %q is not experiment|n|trial", s)
+	}
+	mid := strings.LastIndexByte(s[:last], '|')
+	if mid < 0 {
+		return Key{}, fmt.Errorf("sweep: record id %q is not experiment|n|trial", s)
+	}
+	var k Key
+	var err error
+	k.Experiment = s[:mid]
+	if k.N, err = strconv.Atoi(s[mid+1 : last]); err != nil {
+		return Key{}, fmt.Errorf("sweep: record id %q has non-numeric n: %w", s, err)
+	}
+	if k.Trial, err = strconv.Atoi(s[last+1:]); err != nil {
+		return Key{}, fmt.Errorf("sweep: record id %q has non-numeric trial: %w", s, err)
+	}
+	return k, nil
 }
 
 // Record is one completed trial: one line of the sweep's JSONL output.
@@ -138,6 +170,12 @@ func (r Record) appendLine(b []byte) ([]byte, error) {
 	}
 	return append(append(b, line...), '\n'), nil
 }
+
+// JSONL renders the record as its one checkpoint/stream line, trailing
+// newline included — the exact bytes Run writes to Options.Out, which is
+// also the service's wire format (GET /v1/jobs/{id}/records streams these
+// lines verbatim).
+func (r Record) JSONL() ([]byte, error) { return r.appendLine(nil) }
 
 // ErrTornTail reports that a JSONL stream ends mid-line: the writer was
 // killed between writing a record and its newline. The records before the

@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/popsim/popsize/internal/pop"
+)
+
+// SpecRequest is the serializable form of a sweep submission: everything a
+// caller chooses about a run — which experiments, the size grid, trial
+// counts, engine backend, worker budget, intra-trial parallelism, and the
+// base seed — in one JSON-codable struct. It is the single source of truth
+// for those knobs' defaults and validation messages: the command-line
+// surface (Flags embeds it, binding -backend/-workers/-par/-seed straight
+// onto its fields) and the popsimd daemon's POST /v1/jobs body are the
+// same struct, so a job submitted over HTTP and a sweep launched from a
+// shell are the same request by construction.
+//
+// A request does not name concrete work: a resolver (internal/expt's
+// Resolve for the reproduction suite) turns the experiment selection into
+// sweep points, and Spec then binds those points to the request's knobs.
+type SpecRequest struct {
+	// Experiments selects experiment ids (expt.DefaultDefs' F2/E1–E18/A1–A3
+	// plus the zoo's E-* defs); empty means the whole suite. Unknown names
+	// fail resolution with the shared UnknownName error listing what does
+	// exist.
+	Experiments []string `json:"experiments,omitempty"`
+	// Ns overrides the suite's primary population-size grid (each entry
+	// needs at least 2 agents); empty keeps the sizing preset.
+	Ns []int `json:"ns,omitempty"`
+	// Trials overrides the per-point trial count; 0 keeps the preset.
+	Trials int `json:"trials,omitempty"`
+	// Quick selects the -quick smoke sizing preset.
+	Quick bool `json:"quick,omitempty"`
+	// Backend selects the simulation engine: auto|seq|batch|dense
+	// (default auto).
+	Backend string `json:"backend,omitempty"`
+	// Workers bounds the sweep's worker pool; 0 means GOMAXPROCS (or, in
+	// the daemon, the shared pool size).
+	Workers int `json:"workers,omitempty"`
+	// Par is the intra-trial parallelism target (the -par semantics:
+	// 0 = auto, any value >= 1 forces the deterministic splitter path).
+	Par int `json:"par,omitempty"`
+	// Seed is the base random seed; per-trial seeds derive from it
+	// (default 1, matching the -seed flag).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// SetDefaults fills the zero-valued knobs whose documented default is not
+// the zero value, mirroring the flag defaults exactly.
+func (r *SpecRequest) SetDefaults() {
+	if r.Backend == "" {
+		r.Backend = "auto"
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+}
+
+// ParseBackend parses the request's backend selection.
+func (r *SpecRequest) ParseBackend() (pop.Backend, error) {
+	if r.Backend == "" {
+		return pop.ParseBackend("auto")
+	}
+	return pop.ParseBackend(r.Backend)
+}
+
+// Validate checks every knob that can be checked without a resolver (the
+// experiment selection is validated against the catalog at resolve time).
+func (r *SpecRequest) Validate() error {
+	if _, err := r.ParseBackend(); err != nil {
+		return err
+	}
+	if r.Trials < 0 {
+		return fmt.Errorf("sweep: request needs trials >= 0 (got %d)", r.Trials)
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("sweep: request needs workers >= 0 (got %d)", r.Workers)
+	}
+	if r.Par < 0 {
+		return fmt.Errorf("sweep: request needs par >= 0 (got %d)", r.Par)
+	}
+	seen := map[int]bool{}
+	for _, n := range r.Ns {
+		if n < 2 {
+			return fmt.Errorf("sweep: request ns entry %d: population sizes need at least 2 agents", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("sweep: request ns entry %d repeats — duplicate sizes would double-run every trial under identical record keys", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// Spec binds resolved points to the request's knobs, producing the
+// runnable sweep spec.
+func (r SpecRequest) Spec(points []Point) (Spec, error) {
+	if err := r.Validate(); err != nil {
+		return Spec{}, err
+	}
+	be, err := r.ParseBackend()
+	if err != nil {
+		return Spec{}, err
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return Spec{
+		Points:   points,
+		BaseSeed: seed,
+		Backend:  be,
+		Workers:  r.Workers,
+		Par:      r.Par,
+	}, nil
+}
+
+// DecodeSpecRequest reads one JSON-encoded request, rejecting unknown
+// fields (a typoed knob in a job submission must fail loudly, not silently
+// run the default suite), then applies defaults and validates. This is the
+// daemon's POST body decoder.
+func DecodeSpecRequest(rd io.Reader) (SpecRequest, error) {
+	var req SpecRequest
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return SpecRequest{}, fmt.Errorf("sweep: decoding spec request: %w", err)
+	}
+	// A second document in the body is almost certainly a client bug.
+	if dec.More() {
+		return SpecRequest{}, fmt.Errorf("sweep: spec request body holds more than one JSON document")
+	}
+	req.SetDefaults()
+	if err := req.Validate(); err != nil {
+		return SpecRequest{}, err
+	}
+	return req, nil
+}

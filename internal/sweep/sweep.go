@@ -20,6 +20,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -135,6 +136,13 @@ type Options struct {
 	// > 0, leaving the remainder un-run (a deterministic stand-in for a
 	// mid-run kill; used by the resume tests).
 	Limit int
+	// Acquire, when non-nil, gates every unit execution: a worker calls it
+	// before running a unit and invokes the returned release afterwards.
+	// It blocks until a slot is available or ctx is canceled (returning
+	// ctx's error). Multi-job schedulers (the popsimd daemon) use it to
+	// share one bounded slot pool fairly across concurrent RunContext
+	// calls; nil means units run as soon as a worker goroutine is free.
+	Acquire func(ctx context.Context) (release func(), err error)
 }
 
 // Results indexes a sweep's records by key.
@@ -195,14 +203,28 @@ func (r *Results) Values(experiment string, n int, field string) []float64 {
 	return out
 }
 
-// Run executes the spec's work queue on a bounded worker pool, streaming
-// each newly completed record to opt.Out, and returns the full result set
-// (checkpointed records included). A unit present in opt.Done is reused
-// only if its recorded seed and backend match the spec's; a mismatch means
-// the checkpoint was produced under a different base seed, grid, or
-// simulation backend and is reported as an error rather than silently
-// mixing streams.
+// Run executes the spec with no external cancellation; it is
+// RunContext(context.Background(), spec, opt).
 func Run(spec Spec, opt Options) (*Results, error) {
+	return RunContext(context.Background(), spec, opt)
+}
+
+// RunContext executes the spec's work queue on a bounded worker pool,
+// streaming each newly completed record to opt.Out, and returns the full
+// result set (checkpointed records included). A unit present in opt.Done
+// is reused only if its recorded seed and backend match the spec's; a
+// mismatch means the checkpoint was produced under a different base seed,
+// grid, or simulation backend and is reported as an error rather than
+// silently mixing streams.
+//
+// Cancellation is observed between units: canceling ctx stops new units
+// from starting, waits for the in-flight ones to finish (each is recorded
+// and checkpointed as usual), and returns the partial results together
+// with ctx's error — the output file stays a loadable checkpoint, so the
+// same spec can be resumed later via Options.Done. A failed opt.Out write
+// cancels the remaining queue the same way: no compute is burned on
+// trials whose records can no longer be persisted.
+func RunContext(ctx context.Context, spec Spec, opt Options) (*Results, error) {
 	units := spec.Units()
 	res := NewResults()
 	var todo []Unit
@@ -243,6 +265,10 @@ func Run(spec Spec, opt Options) (*Results, error) {
 		workers = len(todo)
 	}
 
+	// run covers both cancellation sources with one signal: the caller's
+	// ctx and an internal abort on checkpoint-write failure.
+	run, abort := context.WithCancel(ctx)
+	defer abort()
 	var (
 		mu       sync.Mutex // guards res, opt.Out, writeErr
 		writeErr error
@@ -255,6 +281,19 @@ func Run(spec Spec, opt Options) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for u := range queue {
+				// The queue is unbuffered, but a unit handed over in the
+				// same instant the run was canceled must not start.
+				if run.Err() != nil {
+					return
+				}
+				release := func() {}
+				if opt.Acquire != nil {
+					rel, err := opt.Acquire(run)
+					if err != nil {
+						return
+					}
+					release = rel
+				}
 				start := time.Now()
 				vals := u.run(u.Trial, u.Seed)
 				rec := Record{
@@ -273,29 +312,37 @@ func Run(spec Spec, opt Options) (*Results, error) {
 						_, err = opt.Out.Write(line)
 					}
 					if err != nil {
+						// A failed checkpoint write would silently lose
+						// every further record; cancel the remaining queue
+						// instead of burning the rest of the sweep's
+						// compute on trials that cannot be persisted.
 						writeErr = err
+						abort()
 					}
 				}
 				if opt.OnRecord != nil {
 					opt.OnRecord(rec)
 				}
 				mu.Unlock()
+				release()
 			}
 		}()
 	}
+feed:
 	for _, u := range todo {
-		// A failed checkpoint write would silently lose every further
-		// record; stop feeding the queue instead of burning the rest of
-		// the sweep's compute on trials that cannot be persisted.
-		mu.Lock()
-		failed := writeErr != nil
-		mu.Unlock()
-		if failed {
-			break
+		select {
+		case queue <- u:
+		case <-run.Done():
+			break feed
 		}
-		queue <- u
 	}
 	close(queue)
 	wg.Wait()
-	return res, writeErr
+	if writeErr != nil {
+		return res, writeErr
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
 }

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Service-level crash-recovery gate for popsimd: a daemon SIGKILLed mid-job
+# and restarted on the same state directory must finish the job with a
+# record set canonically byte-identical to an uninterrupted run of the same
+# submission. This is the end-to-end version of the internal/jobs restart
+# tests — it crosses the real HTTP surface, the process-kill path (torn
+# JSONL tails included), and the -canon comparator, using nothing but curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/popsimd" ./cmd/popsimd
+
+PORT=$((20000 + RANDOM % 20000))
+ADDR="127.0.0.1:$PORT"
+BASE="http://$ADDR"
+# One slot serializes the units, so the kill lands squarely mid-queue.
+BODY='{"experiments":["F2"],"ns":[1024,2048,4096],"trials":4,"seed":5,"backend":"seq"}'
+
+start_daemon() { # $1 = state dir
+  "$workdir/popsimd" -addr "$ADDR" -dir "$1" -slots 1 2>>"$workdir/daemon.log" &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return; fi
+    sleep 0.1
+  done
+  echo "daemon never became healthy" >&2
+  cat "$workdir/daemon.log" >&2
+  exit 1
+}
+
+submit() { # prints the job id
+  curl -fsS -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' -d "$BODY" \
+    | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1
+}
+
+wait_done() { # $1 = job id; blocks until the job is terminal, requires "done"
+  # The records stream follows the job until it reaches a terminal state.
+  curl -fsS "$BASE/v1/jobs/$1/records" >/dev/null
+  state=$(curl -fsS "$BASE/v1/jobs/$1" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -n 1)
+  if [ "$state" != "done" ]; then
+    echo "job $1 ended in state $state, want done" >&2
+    cat "$workdir/daemon.log" >&2
+    exit 1
+  fi
+}
+
+echo "== reference: uninterrupted run =="
+start_daemon "$workdir/ref-state"
+ref_id=$(submit)
+[ -n "$ref_id" ] || { echo "submission returned no job id" >&2; exit 1; }
+wait_done "$ref_id"
+kill "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+"$workdir/popsimd" -canon "$workdir/ref-state/$ref_id.jsonl" >"$workdir/ref.canon"
+ref_lines=$(wc -l <"$workdir/ref.canon")
+echo "reference run: $ref_lines records"
+
+echo "== interrupted run: SIGKILL mid-job, restart, resume =="
+start_daemon "$workdir/state"
+job_id=$(submit)
+[ -n "$job_id" ] || { echo "submission returned no job id" >&2; exit 1; }
+# Wait for partial progress, then kill the daemon without ceremony — no
+# graceful shutdown, so the checkpoint may end in a torn line.
+for _ in $(seq 1 300); do
+  got=$(curl -fsS "$BASE/v1/jobs/$job_id/records?follow=0" | wc -l)
+  if [ "$got" -ge 3 ]; then break; fi
+  sleep 0.1
+done
+if [ "$got" -lt 3 ] || [ "$got" -ge "$ref_lines" ]; then
+  echo "kill window missed: $got of $ref_lines records done" >&2
+  exit 1
+fi
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+echo "killed daemon after $got records"
+
+start_daemon "$workdir/state"
+wait_done "$job_id"
+kill "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+"$workdir/popsimd" -canon "$workdir/state/$job_id.jsonl" >"$workdir/resumed.canon"
+
+cmp "$workdir/ref.canon" "$workdir/resumed.canon"
+echo "kill/restart record set byte-identical to the uninterrupted run ($ref_lines records)"
