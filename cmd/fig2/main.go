@@ -84,15 +84,14 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	be, err := sf.ParseBackend()
+	env, err := expt.EnvFor(sf.SpecRequest)
 	if err != nil {
 		return err
 	}
-	expt.SetBackend(be)
-	expt.SetParallelism(sf.Par)
 	// Trajectory instrumentation (-history/-snapshot/-restore) applies to
 	// every F2 trial, with artifact paths tag-suffixed per (n, trial).
-	if err := expt.ConfigureTrajectory(sf); err != nil {
+	env.Traj, err = expt.ConfigureTrajectory(sf)
+	if err != nil {
 		return err
 	}
 
@@ -108,7 +107,7 @@ func run(args []string, stdout io.Writer) error {
 		ns = append(ns, 100000)
 	}
 
-	d := expt.Fig2Def(cfg, ns, *trials)
+	d := expt.Fig2Def(env, cfg, ns, *trials)
 	res, err := sf.Execute(d.Points, nil)
 	if err != nil {
 		return err

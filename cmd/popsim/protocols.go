@@ -120,10 +120,10 @@ func init() {
 }
 
 // newMainRunner adapts the full estimation pipeline: it resolves the
-// paper-vs-fast preset, installs the expt trajectory instrumentation
-// (shared with cmd/experiments' instrumented generators), and parses a
-// restore snapshot eagerly so a malformed file fails the command before
-// any trial runs.
+// paper-vs-fast preset, binds the trajectory instrumentation into a local
+// expt.Env (the same env-scoped RunCore cmd/experiments' instrumented
+// generators use), and parses a restore snapshot eagerly so a malformed
+// file fails the command before any trial runs.
 func newMainRunner(cfg protocol.Config) (*protocol.Runner, error) {
 	pcfg := popsize.FastConfig()
 	if cfg.Paper {
@@ -150,7 +150,7 @@ func newMainRunner(cfg protocol.Config) (*protocol.Runner, error) {
 			note = fmt.Sprintf("restoring from %s: backend=%s n=%d", t.RestorePath, snap.Backend, snap.N)
 		}
 	}
-	expt.SetTrajectory(tc)
+	env := expt.Env{Backend: cfg.Backend, Par: cfg.Par, Traj: tc}
 	logN := math.Log2(float64(n))
 	trials := cfg.Trials
 	return &protocol.Runner{
@@ -161,7 +161,7 @@ func newMainRunner(cfg protocol.Config) (*protocol.Runner, error) {
 			if trials > 1 {
 				tag = fmt.Sprintf("t%d", tr)
 			}
-			r, err := expt.RunCore(p, n, tag, core.RunOptions{Seed: seed, Backend: cfg.Backend, Parallelism: cfg.Par})
+			r, err := env.RunCore(p, n, tag, core.RunOptions{Seed: seed, Backend: cfg.Backend, Parallelism: cfg.Par})
 			if err != nil {
 				cfg.Fail(fmt.Errorf("trial %d: %w", tr, err))
 			}

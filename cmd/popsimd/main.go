@@ -41,7 +41,6 @@ import (
 
 	"github.com/popsim/popsize/internal/expt"
 	"github.com/popsim/popsize/internal/jobs"
-	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/sweep"
 )
 
@@ -69,10 +68,6 @@ func run(argv []string) error {
 		Dir:     *dir,
 		Slots:   *slots,
 		Resolve: expt.ResolvePoints,
-		SetEnv: func(b pop.Backend, par int) {
-			expt.SetBackend(b)
-			expt.SetParallelism(par)
-		},
 	})
 	if err != nil {
 		return err

@@ -12,7 +12,7 @@ import (
 // ArithmeticDef is E18: the introduction's efficient-vs-inefficient
 // example — x,q → y,y doubles in O(log n) while x,x → y,q halves in Θ(n).
 // The two protocols are separate points ("E18/double", "E18/halve").
-func ArithmeticDef(ns []int, trials int) Def {
+func ArithmeticDef(env Env, ns []int, trials int) Def {
 	const id = "E18"
 	var points []sweep.Point
 	for _, n := range ns {
@@ -20,7 +20,7 @@ func ArithmeticDef(ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/double", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					s := arith.NewDoubleEngine(n, n/4, pop.WithSeed(seed), engineOpt())
+					s := arith.NewDoubleEngine(n, n/4, pop.WithSeed(seed), env.engineOpt())
 					at, ok := arith.CompletionTime(s, false, 1e6)
 					if !ok {
 						at = math.NaN()
@@ -31,7 +31,7 @@ func ArithmeticDef(ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/halve", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					s := arith.NewHalveEngine(n, n/4, pop.WithSeed(seed), engineOpt())
+					s := arith.NewHalveEngine(n, n/4, pop.WithSeed(seed), env.engineOpt())
 					at, ok := arith.CompletionTime(s, (n/4)%2 == 1, 1e8)
 					if !ok {
 						at = math.NaN()
@@ -55,10 +55,10 @@ func ArithmeticDef(ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // Arithmetic renders E18 via a local sweep (legacy form).
 func Arithmetic(ns []int, trials int, seedBase uint64) stats.Table {
-	return ArithmeticDef(ns, trials).Table(seedBase)
+	return ArithmeticDef(Env{}, ns, trials).Table(seedBase)
 }

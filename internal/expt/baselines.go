@@ -18,7 +18,7 @@ import (
 // accuracy costs roughly a multiplicative log n → n/log n factor in time.
 // The three protocols are separate sweep points ("E16/weak", "E16/main",
 // "E16/exact").
-func BaselinesDef(cfg core.Config, ns []int, trials int) Def {
+func BaselinesDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	const id = "E16"
 	mp := core.MustNew(cfg)
 	ep := exactcount.New(0)
@@ -29,7 +29,7 @@ func BaselinesDef(cfg core.Config, ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/weak", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					s := approxsize.NewEngine(n, pop.WithSeed(seed), engineOpt())
+					s := approxsize.NewEngine(n, pop.WithSeed(seed), env.engineOpt())
 					ok, at := s.RunUntil(approxsize.Converged, 1, 100*logN)
 					ratio := 0.0
 					if k, has := approxsize.CommonK(s); has {
@@ -44,14 +44,14 @@ func BaselinesDef(cfg core.Config, ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/main", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					r := mp.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
+					r := mp.Run(n, env.runOptions(seed))
 					return sweep.Values{"time": r.Time, "err": r.MaxErr}
 				},
 			},
 			sweep.Point{
 				Experiment: id + "/exact", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					s := ep.NewEngine(n, pop.WithSeed(seed), engineOpt())
+					s := ep.NewEngine(n, pop.WithSeed(seed), env.engineOpt())
 					ok, at := s.RunUntil(exactcount.Terminated, 5, float64(5000*n))
 					correct := sweep.Bool(exactcount.LeaderCount(s) == n)
 					if !ok {
@@ -87,10 +87,10 @@ func BaselinesDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // Baselines renders E16 via a local sweep (legacy form).
 func Baselines(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return BaselinesDef(cfg, ns, trials).Table(seedBase)
+	return BaselinesDef(Env{}, cfg, ns, trials).Table(seedBase)
 }

@@ -24,7 +24,7 @@ const settleErrTol = 4.0
 // the second half of the run, after the initial convergence has had twice
 // its expected time. Trials whose tracker never held an estimate in the
 // window report NaN and are counted as dropped by the aggregation.
-func ChurnTrackingDef(cfg core.Config, ns []int, rates []float64, trials int) Def {
+func ChurnTrackingDef(env Env, cfg core.Config, ns []int, rates []float64, trials int) Def {
 	p := core.MustNew(cfg)
 	const id = "E-churn"
 	var points []sweep.Point
@@ -38,7 +38,7 @@ func ChurnTrackingDef(cfg core.Config, ns []int, rates []float64, trials int) De
 				Run: func(tr int, seed uint64) sweep.Values {
 					sched := churn.Step(n, rate, period, until)
 					res := churn.Track(
-						churn.TrackerConfig{Protocol: cfg, Backend: Backend(), Parallelism: Parallelism()},
+						churn.TrackerConfig{Protocol: cfg, Backend: env.Backend, Parallelism: env.Par},
 						n, sched, seed, until)
 					mean, maxv, _ := res.ErrStats(warm)
 					return sweep.Values{
@@ -72,7 +72,7 @@ func ChurnTrackingDef(cfg core.Config, ns []int, rates []float64, trials int) De
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // ChurnDetectionDef is E-churn-detect: latency of the dynamic estimator's
@@ -81,7 +81,7 @@ func ChurnTrackingDef(cfg core.Config, ns []int, rates []float64, trials int) De
 // time from the doubling to the first tracker restart (the join wave
 // tripping the undecided-fraction signal), "settle" the further time
 // until the estimate is back within tolerance of log2(2n).
-func ChurnDetectionDef(cfg core.Config, ns []int, trials int) Def {
+func ChurnDetectionDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
 	const id = "E-churn-detect"
 	var points []sweep.Point
@@ -92,7 +92,7 @@ func ChurnDetectionDef(cfg core.Config, ns []int, trials int) Def {
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
 				res := churn.Track(
-					churn.TrackerConfig{Protocol: cfg, Backend: Backend(), Parallelism: Parallelism()},
+					churn.TrackerConfig{Protocol: cfg, Backend: env.Backend, Parallelism: env.Par},
 					n, churn.Doubling(n, t0), seed, until)
 				detect, settle := res.DetectionLatency(t0, settleErrTol)
 				return sweep.Values{
@@ -122,7 +122,7 @@ func ChurnDetectionDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // churnLabel names one churn-rate sub-configuration of E-churn; the rate

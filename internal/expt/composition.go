@@ -17,7 +17,7 @@ import (
 // Majority is swept over margins (one point per margin,
 // "E17/majority/m=<margin>"); leader election reports unique-leader rates
 // ("E17/leader").
-func CompositionDef(n int, margins []float64, trials int) Def {
+func CompositionDef(env Env, n int, margins []float64, trials int) Def {
 	const id = "E17"
 	marginExp := func(m float64) string { return fmt.Sprintf("%s/majority/m=%g", id, m) }
 	var points []sweep.Point
@@ -98,10 +98,10 @@ func CompositionDef(n int, margins []float64, trials int) Def {
 			stats.I(nUnique)+"/"+stats.I(trials), stats.F(ts.Mean))
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // Composition renders E17 via a local sweep (legacy form).
 func Composition(n int, margins []float64, trials int, seedBase uint64) stats.Table {
-	return CompositionDef(n, margins, trials).Table(seedBase)
+	return CompositionDef(Env{}, n, margins, trials).Table(seedBase)
 }

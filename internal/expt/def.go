@@ -19,7 +19,11 @@ import (
 type Def struct {
 	// ID is the experiment's index entry (F2, E1–E18, A1–A3). Points may
 	// refine it with sub-configuration labels ("E17/majority/m=0.2").
-	ID     string
+	ID string
+	// Env is the engine environment the Points were bound to at
+	// construction: the trial closures captured it, and Table stamps the
+	// local sweep.Spec from it so the records match what the trials ran.
+	Env    Env
 	Points []sweep.Point
 	Render func(*sweep.Results) stats.Table
 }
@@ -30,13 +34,14 @@ type Def struct {
 // submit all their Points into one shared queue instead, so trials from
 // different experiments interleave across the worker pool.
 func (d Def) Table(seedBase uint64) stats.Table {
-	return d.Render(runLocal(d.Points, seedBase))
+	return d.Render(runLocal(d.Env, d.Points, seedBase))
 }
 
-// runLocal executes points with no output stream or checkpoint.
-func runLocal(points []sweep.Point, seedBase uint64) *sweep.Results {
+// runLocal executes points with no output stream or checkpoint, stamping
+// the spec from the env the points were bound to.
+func runLocal(env Env, points []sweep.Point, seedBase uint64) *sweep.Results {
 	res, err := sweep.Run(
-		sweep.Spec{Points: points, BaseSeed: seedBase, Backend: Backend()},
+		sweep.Spec{Points: points, BaseSeed: seedBase, Backend: env.Backend, Par: env.Par},
 		sweep.Options{})
 	if err != nil {
 		// Run errs only on checkpoint mismatches and stream writes,
@@ -87,38 +92,38 @@ func QuickParams() Params {
 }
 
 // DefaultDefs assembles the whole reproduction suite — DESIGN.md's
-// experiment index in order — sized by p. It is the single source of truth
-// for which trials the suite runs, which is what lets the seed-derivation
-// regression test assert pairwise-distinct engine seeds over the exact
-// default grid.
-func DefaultDefs(cfg core.Config, scCfg synthcoin.Config, p Params) []Def {
+// experiment index in order — sized by p, with every def's trial closures
+// bound to env. It is the single source of truth for which trials the
+// suite runs, which is what lets the seed-derivation regression test
+// assert pairwise-distinct engine seeds over the exact default grid.
+func DefaultDefs(env Env, cfg core.Config, scCfg synthcoin.Config, p Params) []Def {
 	last := p.Ns[len(p.Ns)-1]
 	return []Def{
-		Fig2Def(cfg, p.Ns, p.Trials),
-		ErrorDistributionDef(cfg, p.Ns, p.Trials*3),
-		StateCountDef(cfg, p.Ns, p.Trials),
-		PartitionDef(cfg, p.Ns, p.Trials*3),
-		LogSize2RangeDef(cfg, p.Ns, p.Trials*3),
-		EpidemicDef(p.Ns, p.Trials),
-		InteractionConcentrationDef(p.BigNs, p.Trials),
-		MaxGeometricDef(p.BigNs, p.Samples),
-		SumOfMaximaDef(p.BigNs, p.Samples/4),
-		DepletionDef(p.Ns, p.Trials),
-		ProducibilityDef(p.BigNs, p.Trials),
-		TerminationDenseDef(cfg, p.Ns, p.Trials),
-		LeaderTerminationDef(cfg, p.Ns[:len(p.Ns)-1], p.Trials),
-		UpperBoundDef(cfg, []int{64, 128, 256}, p.Trials),
-		SyntheticCoinDef(cfg, scCfg, p.Ns[:len(p.Ns)-1], p.Trials),
-		BaselinesDef(cfg, []int{100, 400, 1600}, p.Trials),
-		CompositionDef(p.ComposeN, []float64{0.5, 0.2, 0.05}, p.Trials),
-		ArithmeticDef(p.Ns, p.Trials),
-		AblationClockFactorDef(last, []int{4, 8, 16, 32, 95}, p.Trials),
-		AblationEpochFactorDef(last, []int{1, 2, 3, 5}, p.Trials),
-		AblationNoRestartDef(last, p.Trials*2),
-		ChurnTrackingDef(cfg, p.Ns[:len(p.Ns)-1], p.ChurnRates, p.Trials),
-		ChurnDetectionDef(cfg, p.Ns[:len(p.Ns)-1], p.Trials),
-		ZooJuntaDef(p.Ns, p.Trials),
-		ZooRepeatMajorityDef(p.Ns, p.Trials),
-		ZooBKRCountDef(p.Ns, p.Trials),
+		Fig2Def(env, cfg, p.Ns, p.Trials),
+		ErrorDistributionDef(env, cfg, p.Ns, p.Trials*3),
+		StateCountDef(env, cfg, p.Ns, p.Trials),
+		PartitionDef(env, cfg, p.Ns, p.Trials*3),
+		LogSize2RangeDef(env, cfg, p.Ns, p.Trials*3),
+		EpidemicDef(env, p.Ns, p.Trials),
+		InteractionConcentrationDef(env, p.BigNs, p.Trials),
+		MaxGeometricDef(env, p.BigNs, p.Samples),
+		SumOfMaximaDef(env, p.BigNs, p.Samples/4),
+		DepletionDef(env, p.Ns, p.Trials),
+		ProducibilityDef(env, p.BigNs, p.Trials),
+		TerminationDenseDef(env, cfg, p.Ns, p.Trials),
+		LeaderTerminationDef(env, cfg, p.Ns[:len(p.Ns)-1], p.Trials),
+		UpperBoundDef(env, cfg, []int{64, 128, 256}, p.Trials),
+		SyntheticCoinDef(env, cfg, scCfg, p.Ns[:len(p.Ns)-1], p.Trials),
+		BaselinesDef(env, cfg, []int{100, 400, 1600}, p.Trials),
+		CompositionDef(env, p.ComposeN, []float64{0.5, 0.2, 0.05}, p.Trials),
+		ArithmeticDef(env, p.Ns, p.Trials),
+		AblationClockFactorDef(env, last, []int{4, 8, 16, 32, 95}, p.Trials),
+		AblationEpochFactorDef(env, last, []int{1, 2, 3, 5}, p.Trials),
+		AblationNoRestartDef(env, last, p.Trials*2),
+		ChurnTrackingDef(env, cfg, p.Ns[:len(p.Ns)-1], p.ChurnRates, p.Trials),
+		ChurnDetectionDef(env, cfg, p.Ns[:len(p.Ns)-1], p.Trials),
+		ZooJuntaDef(env, p.Ns, p.Trials),
+		ZooRepeatMajorityDef(env, p.Ns, p.Trials),
+		ZooBKRCountDef(env, p.Ns, p.Trials),
 	}
 }

@@ -1,0 +1,51 @@
+package expt
+
+import (
+	"github.com/popsim/popsize/internal/core"
+	"github.com/popsim/popsize/internal/pop"
+	"github.com/popsim/popsize/internal/sweep"
+)
+
+// Env is the engine environment a resolved suite binds at construction
+// time: the simulation backend its trials build engines on, the
+// intra-trial parallelism target (pop.WithParallelism semantics; 0 =
+// auto), and the per-run trajectory instrumentation, if any. It is plain
+// data captured by the Def generator closures — there is no process-wide
+// engine configuration — so suites bound to different Envs can run
+// concurrently in one process without coordinating. Generators that
+// inherently need per-agent data (e.g. InteractionConcentration) stay on
+// the sequential engine regardless of Env.Backend.
+//
+// The zero Env (auto backend, auto parallelism, no instrumentation) is
+// the default the commands start from; EnvFor derives one from a request.
+type Env struct {
+	Backend pop.Backend
+	Par     int
+	// Traj is the single-run instrumentation (history stream, snapshot,
+	// restore) applied by Env.RunCore; nil or inactive leaves trials
+	// uninstrumented.
+	Traj *TrajectoryConfig
+}
+
+// EnvFor resolves the engine environment a sweep request selects. The
+// backend string is parsed here once; everything env-bound downstream —
+// generator closures and the sweep.Spec Backend/Par stamp — flows from
+// the returned value.
+func EnvFor(req sweep.SpecRequest) (Env, error) {
+	be, err := req.ParseBackend()
+	if err != nil {
+		return Env{}, err
+	}
+	return Env{Backend: be, Par: max(req.Par, 0)}, nil
+}
+
+// engineOpt returns the pop option encoding the env's backend and
+// intra-trial parallelism.
+func (e Env) engineOpt() pop.Option {
+	return pop.Combine(pop.WithBackend(e.Backend), pop.WithParallelism(e.Par))
+}
+
+// runOptions is the core.RunOptions base an env-bound trial starts from.
+func (e Env) runOptions(seed uint64) core.RunOptions {
+	return core.RunOptions{Seed: seed, Backend: e.Backend, Parallelism: e.Par}
+}

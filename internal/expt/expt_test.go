@@ -81,8 +81,8 @@ func TestChurnExperimentsTiny(t *testing.T) {
 	// Reduced constants keep the tracked runs (a full convergence budget
 	// per trial) cheap at test scale.
 	cfg := core.Config{ClockFactor: 8, EpochFactor: 1, GeomBonus: 2}
-	checkTable(t, ptr(ChurnTrackingDef(cfg, []int{80}, []float64{1e-4, 1e-3}, 2).Table(1)), 2)
-	checkTable(t, ptr(ChurnDetectionDef(cfg, []int{80}, 2).Table(1)), 1)
+	checkTable(t, ptr(ChurnTrackingDef(Env{}, cfg, []int{80}, []float64{1e-4, 1e-3}, 2).Table(1)), 2)
+	checkTable(t, ptr(ChurnDetectionDef(Env{}, cfg, []int{80}, 2).Table(1)), 1)
 }
 
 func ptr[T any](t T) *T { return &t }

@@ -1,10 +1,13 @@
 // Package expt defines the experiment generators behind DESIGN.md's
 // per-experiment index (F2, E1–E18, A1–A3). Each experiment is a Def:
 // declarative sweep points (one trial function per grid cell) plus a
-// renderer from the recorded trials to a stats.Table. cmd/experiments
-// submits every selected Def into one sweep queue, streams JSONL records,
-// and renders the tables; the root benchmarks re-run the generators at
-// reduced scale.
+// renderer from the recorded trials to a stats.Table. Point construction
+// binds an explicit engine Env (backend, intra-trial parallelism,
+// trajectory instrumentation) into the trial closures — the package keeps
+// no process-wide engine state — so suites bound to different Envs run
+// concurrently in one process. cmd/experiments submits every selected Def
+// into one sweep queue, streams JSONL records, and renders the tables;
+// the root benchmarks re-run the generators at reduced scale.
 package expt
 
 import (
@@ -28,7 +31,7 @@ type Fig2Result struct {
 // (all agents reach epoch = K) plus output delivery, and the per-trial
 // estimate error is recorded alongside (the caption's "in practice the
 // estimate is always within 2").
-func Fig2Def(cfg core.Config, ns []int, trials int) Def {
+func Fig2Def(env Env, cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
 	const id = "F2"
 	var points []sweep.Point
@@ -36,8 +39,7 @@ func Fig2Def(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r, err := RunCore(p, n, fmt.Sprintf("F2-n%d-t%d", n, tr),
-					core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
+				r, err := env.RunCore(p, n, fmt.Sprintf("F2-n%d-t%d", n, tr), env.runOptions(seed))
 				if err != nil {
 					// Artifact-file I/O only (the Result itself is valid);
 					// a worker goroutine has nowhere to return it.
@@ -77,7 +79,7 @@ func Fig2Def(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // Fig2Points extracts the Figure 2 scatter (per-trial convergence time vs
@@ -94,7 +96,7 @@ func Fig2Points(res *sweep.Results, ns []int) []stats.Point {
 
 // Fig2 runs the Figure 2 reproduction via a local sweep (legacy form).
 func Fig2(cfg core.Config, ns []int, trials int, seedBase uint64) Fig2Result {
-	d := Fig2Def(cfg, ns, trials)
-	res := runLocal(d.Points, seedBase)
+	d := Fig2Def(Env{}, cfg, ns, trials)
+	res := runLocal(d.Env, d.Points, seedBase)
 	return Fig2Result{Table: d.Render(res), Points: Fig2Points(res, ns)}
 }

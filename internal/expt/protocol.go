@@ -15,7 +15,7 @@ import (
 // ErrorDistributionDef is E1: the additive-error distribution of the main
 // protocol vs Theorem 3.1's |k − log n| <= 5.7 with failure probability
 // 9/n.
-func ErrorDistributionDef(cfg core.Config, ns []int, trials int) Def {
+func ErrorDistributionDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
 	const id = "E1"
 	var points []sweep.Point
@@ -23,7 +23,7 @@ func ErrorDistributionDef(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
+				r := p.Run(n, env.runOptions(seed))
 				return sweep.Values{"err": r.MaxErr}
 			},
 		})
@@ -49,17 +49,17 @@ func ErrorDistributionDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // ErrorDistribution renders E1 via a local sweep (legacy form).
 func ErrorDistribution(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return ErrorDistributionDef(cfg, ns, trials).Table(seedBase)
+	return ErrorDistributionDef(Env{}, cfg, ns, trials).Table(seedBase)
 }
 
 // StateCountDef is E3: distinct states used per execution vs Lemma 3.9's
 // O(log⁴ n), plus per-field maxima vs the lemma's table.
-func StateCountDef(cfg core.Config, ns []int, trials int) Def {
+func StateCountDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
 	const id = "E3"
 	var points []sweep.Point
@@ -67,7 +67,7 @@ func StateCountDef(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				s := p.NewEngine(n, pop.WithSeed(seed), pop.WithStateTracking(), engineOpt())
+				s := p.NewEngine(n, pop.WithSeed(seed), pop.WithStateTracking(), env.engineOpt())
 				// Sample field maxima along the run (a converged snapshot has
 				// all clocks reset, which would under-report the time field).
 				var fm core.FieldMaxima
@@ -126,16 +126,16 @@ func StateCountDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // StateCount renders E3 via a local sweep (legacy form).
 func StateCount(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return StateCountDef(cfg, ns, trials).Table(seedBase)
+	return StateCountDef(Env{}, cfg, ns, trials).Table(seedBase)
 }
 
 // PartitionDef is E4: the |A| ≈ n/2 concentration of Lemma 3.2/Cor 3.3.
-func PartitionDef(cfg core.Config, ns []int, trials int) Def {
+func PartitionDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
 	const id = "E4"
 	var points []sweep.Point
@@ -143,7 +143,7 @@ func PartitionDef(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				s := p.NewEngine(n, pop.WithSeed(seed), engineOpt())
+				s := p.NewEngine(n, pop.WithSeed(seed), env.engineOpt())
 				s.RunTime(8 * math.Log2(float64(n)))
 				a := s.Count(func(st core.State) bool { return st.Role == core.RoleA })
 				return sweep.Values{"dev": math.Abs(float64(a) - float64(n)/2)}
@@ -170,17 +170,17 @@ func PartitionDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // Partition renders E4 via a local sweep (legacy form).
 func Partition(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return PartitionDef(cfg, ns, trials).Table(seedBase)
+	return PartitionDef(Env{}, cfg, ns, trials).Table(seedBase)
 }
 
 // LogSize2RangeDef is E5: the weak estimate's Lemma 3.8 interval
 // [log n − log ln n, 2 log n + 1], plus Corollary A.2's gr interval.
-func LogSize2RangeDef(cfg core.Config, ns []int, trials int) Def {
+func LogSize2RangeDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	p := core.MustNew(cfg)
 	const id = "E5"
 	var points []sweep.Point
@@ -188,7 +188,7 @@ func LogSize2RangeDef(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				s := p.NewEngine(n, pop.WithSeed(seed), engineOpt())
+				s := p.NewEngine(n, pop.WithSeed(seed), env.engineOpt())
 				s.RunTime(10 * math.Log2(float64(n)))
 				// By this time the maximum has propagated to all agents.
 				return sweep.Values{"val": float64(core.Maxima(s).LogSize2 + uint8(cfg.GeomBonus))}
@@ -215,19 +215,19 @@ func LogSize2RangeDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // LogSize2Range renders E5 via a local sweep (legacy form).
 func LogSize2Range(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return LogSize2RangeDef(cfg, ns, trials).Table(seedBase)
+	return LogSize2RangeDef(Env{}, cfg, ns, trials).Table(seedBase)
 }
 
 // InteractionConcentrationDef is E7: Lemma 3.6 — in C·ln n time no agent
 // has more than D·ln n = (2C+√12C)·ln n interactions, w.p. >= 1 − 1/n. It
 // needs per-agent interaction counts, which only the sequential engine
-// provides, so its trials ignore the package backend setting.
-func InteractionConcentrationDef(ns []int, trials int) Def {
+// provides, so its trials ignore the env's backend selection.
+func InteractionConcentrationDef(env Env, ns []int, trials int) Def {
 	const c = 3.0
 	d := prob.InteractionCountD(c)
 	const id = "E7"
@@ -265,16 +265,16 @@ func InteractionConcentrationDef(ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // InteractionConcentration renders E7 via a local sweep (legacy form).
 func InteractionConcentration(ns []int, trials int, seedBase uint64) stats.Table {
-	return InteractionConcentrationDef(ns, trials).Table(seedBase)
+	return InteractionConcentrationDef(Env{}, ns, trials).Table(seedBase)
 }
 
 // AblationClockFactorDef is A1: sweep the per-epoch threshold multiplier.
-func AblationClockFactorDef(n int, factors []int, trials int) Def {
+func AblationClockFactorDef(env Env, n int, factors []int, trials int) Def {
 	const id = "A1"
 	var points []sweep.Point
 	for _, f := range factors {
@@ -284,7 +284,7 @@ func AblationClockFactorDef(n int, factors []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: fmt.Sprintf("%s/cf=%d", id, f), N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
+				r := p.Run(n, env.runOptions(seed))
 				return sweep.Values{"err": r.MaxErr, "time": r.Time}
 			},
 		})
@@ -304,17 +304,17 @@ func AblationClockFactorDef(n int, factors []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // AblationClockFactor renders A1 via a local sweep (legacy form).
 func AblationClockFactor(n int, factors []int, trials int, seedBase uint64) stats.Table {
-	return AblationClockFactorDef(n, factors, trials).Table(seedBase)
+	return AblationClockFactorDef(Env{}, n, factors, trials).Table(seedBase)
 }
 
 // AblationEpochFactorDef is A2: sweep K = factor·L against Corollary
 // D.10's K >= 4·log n requirement.
-func AblationEpochFactorDef(n int, factors []int, trials int) Def {
+func AblationEpochFactorDef(env Env, n int, factors []int, trials int) Def {
 	const id = "A2"
 	var points []sweep.Point
 	for _, f := range factors {
@@ -324,7 +324,7 @@ func AblationEpochFactorDef(n int, factors []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: fmt.Sprintf("%s/ef=%d", id, f), N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
+				r := p.Run(n, env.runOptions(seed))
 				return sweep.Values{
 					"err":  r.MaxErr,
 					"k":    float64(cfg.EpochTarget(uint8(r.LogSize2))),
@@ -349,18 +349,18 @@ func AblationEpochFactorDef(n int, factors []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // AblationEpochFactor renders A2 via a local sweep (legacy form).
 func AblationEpochFactor(n int, factors []int, trials int, seedBase uint64) stats.Table {
-	return AblationEpochFactorDef(n, factors, trials).Table(seedBase)
+	return AblationEpochFactorDef(Env{}, n, factors, trials).Table(seedBase)
 }
 
 // AblationNoRestartDef is A3: disable the restart scheme and show the
 // error blow-up (agents keep progress made under stale, too-small
 // estimates).
-func AblationNoRestartDef(n int, trials int) Def {
+func AblationNoRestartDef(env Env, n int, trials int) Def {
 	const id = "A3"
 	labels := map[bool]string{false: "on", true: "off"}
 	var points []sweep.Point
@@ -371,7 +371,7 @@ func AblationNoRestartDef(n int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: fmt.Sprintf("%s/restart=%s", id, labels[disable]), N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				r := p.Run(n, core.RunOptions{Seed: seed, Backend: Backend(), Parallelism: Parallelism()})
+				r := p.Run(n, env.runOptions(seed))
 				return sweep.Values{"err": r.MaxErr, "converged": sweep.Bool(r.Converged)}
 			},
 		})
@@ -395,10 +395,10 @@ func AblationNoRestartDef(n int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // AblationNoRestart renders A3 via a local sweep (legacy form).
 func AblationNoRestart(n int, trials int, seedBase uint64) stats.Table {
-	return AblationNoRestartDef(n, trials).Table(seedBase)
+	return AblationNoRestartDef(Env{}, n, trials).Table(seedBase)
 }

@@ -8,11 +8,13 @@ import (
 
 // Suite is a resolved sweep request: the selected experiment defs in index
 // order, their combined points (the work queue a command or the daemon
-// submits), and the sizing parameters the defs were built with (renderers
-// like Fig2Points need them back).
+// submits), the engine environment every def's trial closures were bound
+// to, and the sizing parameters the defs were built with (renderers like
+// Fig2Points need them back).
 type Suite struct {
 	Defs   []Def
 	Points []sweep.Point
+	Env    Env
 	Params Params
 }
 
@@ -28,11 +30,26 @@ type Suite struct {
 //
 // Resolve is the one id-to-points catalog: cmd/experiments and cmd/popsimd
 // both route through it, so a job submitted over HTTP runs exactly the
-// trials the CLI would.
+// trials the CLI would. The request's engine environment (backend, par) is
+// resolved here once and bound into every trial closure — two suites
+// resolved from requests with different environments run concurrently in
+// one process without interfering.
 func Resolve(req sweep.SpecRequest) (Suite, error) {
+	return ResolveEnv(req, nil)
+}
+
+// ResolveEnv is Resolve with trajectory instrumentation attached to the
+// suite's env — the CLI path, where the -history/-snapshot/-restore flags
+// exist (the serializable request cannot carry them).
+func ResolveEnv(req sweep.SpecRequest, traj *TrajectoryConfig) (Suite, error) {
 	if err := req.Validate(); err != nil {
 		return Suite{}, err
 	}
+	env, err := EnvFor(req)
+	if err != nil {
+		return Suite{}, err
+	}
+	env.Traj = traj
 	p := DefaultParams()
 	if req.Quick {
 		p = QuickParams()
@@ -43,7 +60,7 @@ func Resolve(req sweep.SpecRequest) (Suite, error) {
 	if req.Trials > 0 {
 		p.Trials = req.Trials
 	}
-	defs := DefaultDefs(core.FastConfig(), synthcoin.FastConfig(), p)
+	defs := DefaultDefs(env, core.FastConfig(), synthcoin.FastConfig(), p)
 
 	ids := make([]string, 0, len(defs))
 	byID := make(map[string]Def, len(defs))
@@ -51,7 +68,7 @@ func Resolve(req sweep.SpecRequest) (Suite, error) {
 		ids = append(ids, d.ID)
 		byID[d.ID] = d
 	}
-	suite := Suite{Params: p}
+	suite := Suite{Env: env, Params: p}
 	if len(req.Experiments) == 0 {
 		suite.Defs = defs
 	} else {

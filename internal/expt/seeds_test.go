@@ -18,7 +18,7 @@ import (
 func TestDefaultSuiteSeedsDistinct(t *testing.T) {
 	for _, baseSeed := range []uint64{1, 42} {
 		var points []sweep.Point
-		for _, d := range DefaultDefs(core.FastConfig(), synthcoin.FastConfig(), DefaultParams()) {
+		for _, d := range DefaultDefs(Env{}, core.FastConfig(), synthcoin.FastConfig(), DefaultParams()) {
 			points = append(points, d.Points...)
 		}
 		units := sweep.Spec{Points: points, BaseSeed: baseSeed}.Units()
@@ -39,7 +39,7 @@ func TestDefaultSuiteSeedsDistinct(t *testing.T) {
 // TestDefaultSuiteCoversIndex: the registry carries the full DESIGN.md
 // experiment index, in order.
 func TestDefaultSuiteCoversIndex(t *testing.T) {
-	defs := DefaultDefs(core.FastConfig(), synthcoin.FastConfig(), QuickParams())
+	defs := DefaultDefs(Env{}, core.FastConfig(), synthcoin.FastConfig(), QuickParams())
 	want := []string{"F2", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
 		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3",
 		"E-churn", "E-churn-detect", "E-junta", "E-repmaj", "E-bkr"}

@@ -15,7 +15,7 @@ import (
 // n/3-subpopulation epidemics vs Lemma A.1 / Corollary 3.5. The two
 // sub-experiments are separate sweep points ("E6/full", "E6/sub"), so
 // their trials parallelize independently and draw independent seeds.
-func EpidemicDef(ns []int, trials int) Def {
+func EpidemicDef(env Env, ns []int, trials int) Def {
 	const id = "E6"
 	var points []sweep.Point
 	for _, n := range ns {
@@ -23,7 +23,7 @@ func EpidemicDef(ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/full", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					s := epidemic.NewEngine(n, 1, pop.WithSeed(seed), engineOpt())
+					s := epidemic.NewEngine(n, 1, pop.WithSeed(seed), env.engineOpt())
 					at, ok := epidemic.CompletionTime(s, 1e6)
 					if !ok {
 						at = math.NaN()
@@ -34,7 +34,7 @@ func EpidemicDef(ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/sub", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					s := epidemic.NewSubpopEngine(n, n/3, 1, pop.WithSeed(seed), engineOpt())
+					s := epidemic.NewSubpopEngine(n, n/3, 1, pop.WithSeed(seed), env.engineOpt())
 					at, ok := epidemic.CompletionTime(s, 1e7)
 					if !ok {
 						at = math.NaN()
@@ -66,19 +66,19 @@ func EpidemicDef(ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // Epidemic renders E6 via a local sweep (legacy form).
 func Epidemic(ns []int, trials int, seedBase uint64) stats.Table {
-	return EpidemicDef(ns, trials).Table(seedBase)
+	return EpidemicDef(Env{}, ns, trials).Table(seedBase)
 }
 
 // MaxGeometricDef is E8: expectation and tails of the maximum of N
 // geometric random variables vs Lemma D.4 / Lemma D.7 / Corollary D.6.
 // Each population size is one single-trial point whose trial draws all
 // `samples` IID maxima from its derived seed.
-func MaxGeometricDef(ns []int, samples int) Def {
+func MaxGeometricDef(env Env, ns []int, samples int) Def {
 	const id = "E8"
 	var points []sweep.Point
 	for _, n := range ns {
@@ -126,17 +126,17 @@ func MaxGeometricDef(ns []int, samples int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // MaxGeometric renders E8 via a local sweep (legacy form).
 func MaxGeometric(ns []int, samples int, seedBase uint64) stats.Table {
-	return MaxGeometricDef(ns, samples).Table(seedBase)
+	return MaxGeometricDef(Env{}, ns, samples).Table(seedBase)
 }
 
 // SumOfMaximaDef is E9: Corollary D.10 — the average of K = 4 log N maxima
 // is within 4.7 of log N except with probability <= 2/N.
-func SumOfMaximaDef(ns []int, samples int) Def {
+func SumOfMaximaDef(env Env, ns []int, samples int) Def {
 	const id = "E9"
 	var points []sweep.Point
 	for _, n := range ns {
@@ -178,18 +178,18 @@ func SumOfMaximaDef(ns []int, samples int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // SumOfMaxima renders E9 via a local sweep (legacy form).
 func SumOfMaxima(ns []int, samples int, seedBase uint64) stats.Table {
-	return SumOfMaximaDef(ns, samples).Table(seedBase)
+	return SumOfMaximaDef(Env{}, ns, samples).Table(seedBase)
 }
 
 // DepletionDef is E10: Lemma E.2 / Corollary E.3 — a state starting at
 // count k cannot fall below k/81 within one time unit (empirically, its
 // minimum over the window vs the paper's bound).
-func DepletionDef(ns []int, trials int) Def {
+func DepletionDef(env Env, ns []int, trials int) Def {
 	const id = "E10"
 	// consume flips tracked agents to the dead state on every interaction:
 	// the harshest consumption rate the lemma's coupling allows.
@@ -201,7 +201,7 @@ func DepletionDef(ns []int, trials int) Def {
 			Run: func(tr int, seed uint64) sweep.Values {
 				k := n / 2
 				s := pop.NewEngine(n, func(i int, _ *rand.Rand) bool { return i < k }, consume,
-					pop.WithSeed(seed), engineOpt())
+					pop.WithSeed(seed), env.engineOpt())
 				minFrac := 1.0
 				for step := 0; step < 20; step++ {
 					s.RunTime(0.05)
@@ -232,10 +232,10 @@ func DepletionDef(ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // Depletion renders E10 via a local sweep (legacy form).
 func Depletion(ns []int, trials int, seedBase uint64) stats.Table {
-	return DepletionDef(ns, trials).Table(seedBase)
+	return DepletionDef(Env{}, ns, trials).Table(seedBase)
 }

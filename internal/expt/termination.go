@@ -15,7 +15,7 @@ import (
 // ProducibilityDef is E11: the timer/density Lemma 4.2 — every state in
 // Λ^m_ρ reaches a constant fraction of n by time 1 from α-dense
 // configurations, with the fraction independent of n.
-func ProducibilityDef(ns []int, trials int) Def {
+func ProducibilityDef(env Env, ns []int, trials int) Def {
 	const id = "E11"
 	am := producible.ApproxMajority()
 	const m = 4
@@ -60,19 +60,19 @@ func ProducibilityDef(ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // Producibility renders E11 via a local sweep (legacy form).
 func Producibility(ns []int, trials int, seedBase uint64) stats.Table {
-	return ProducibilityDef(ns, trials).Table(seedBase)
+	return ProducibilityDef(Env{}, ns, trials).Table(seedBase)
 }
 
 // TerminationDenseDef is E12, the empirical face of Theorem 4.1: the
 // uniform dense counter-terminator's first-termination time is flat in n,
 // while the leader-driven protocol (non-dense initial configuration — the
 // theorem's escape hatch) grows as Θ(log² n).
-func TerminationDenseDef(cfg core.Config, ns []int, trials int) Def {
+func TerminationDenseDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	const id = "E12"
 	ct := term.CounterTerminator{Threshold: 40}
 	lp := leaderterm.MustNew(cfg, 0)
@@ -82,7 +82,7 @@ func TerminationDenseDef(cfg core.Config, ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/dense", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					s := pop.NewEngine(n, ct.Initial, ct.Rule, pop.WithSeed(seed), engineOpt())
+					s := pop.NewEngine(n, ct.Initial, ct.Rule, pop.WithSeed(seed), env.engineOpt())
 					at, ok := term.FirstTermination(s, term.Terminated, 0.5, 1e5)
 					if !ok {
 						at = math.NaN()
@@ -93,7 +93,7 @@ func TerminationDenseDef(cfg core.Config, ns []int, trials int) Def {
 			sweep.Point{
 				Experiment: id + "/leader", N: n, Trials: trials,
 				Run: func(tr int, seed uint64) sweep.Values {
-					s := lp.NewEngine(n, pop.WithSeed(seed), engineOpt())
+					s := lp.NewEngine(n, pop.WithSeed(seed), env.engineOpt())
 					at, ok := term.FirstTermination(s, leaderterm.Terminated, 5, 100*lp.Main().DefaultMaxTime(n))
 					if !ok {
 						at = math.NaN()
@@ -117,19 +117,19 @@ func TerminationDenseDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // TerminationDense renders E12 via a local sweep (legacy form).
 func TerminationDense(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return TerminationDenseDef(cfg, ns, trials).Table(seedBase)
+	return TerminationDenseDef(Env{}, cfg, ns, trials).Table(seedBase)
 }
 
 // LeaderTerminationDef is E13: Theorem 3.13 — with an initial leader,
 // termination fires after the main protocol has converged (w.h.p.), at
 // Θ(log² n) parallel time, and the resulting estimate meets the error
 // bound.
-func LeaderTerminationDef(cfg core.Config, ns []int, trials int) Def {
+func LeaderTerminationDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	const id = "E13"
 	p := leaderterm.MustNew(cfg, 0)
 	var points []sweep.Point
@@ -137,7 +137,7 @@ func LeaderTerminationDef(cfg core.Config, ns []int, trials int) Def {
 		points = append(points, sweep.Point{
 			Experiment: id, N: n, Trials: trials,
 			Run: func(tr int, seed uint64) sweep.Values {
-				s := p.NewEngine(n, pop.WithSeed(seed), engineOpt())
+				s := p.NewEngine(n, pop.WithSeed(seed), env.engineOpt())
 				at, ok := term.FirstTermination(s, leaderterm.Terminated, 2, 100*p.Main().DefaultMaxTime(n))
 				if !ok {
 					// Match the historical per-trial defaults: a timed-out
@@ -176,10 +176,10 @@ func LeaderTerminationDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // LeaderTermination renders E13 via a local sweep (legacy form).
 func LeaderTermination(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return LeaderTerminationDef(cfg, ns, trials).Table(seedBase)
+	return LeaderTerminationDef(Env{}, cfg, ns, trials).Table(seedBase)
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 	"os"
 	"strings"
-	"sync/atomic"
 
 	"github.com/popsim/popsize/internal/core"
 	"github.com/popsim/popsize/internal/pop"
@@ -14,9 +13,10 @@ import (
 
 // TrajectoryConfig carries the single-run instrumentation requested on the
 // command line: a sampled-configuration history stream, a versioned engine
-// snapshot, and/or a snapshot to resume from. Like the backend selection it
-// is package-global (commands set it once before submitting trials), read
-// through an atomic pointer because trials execute on worker goroutines.
+// snapshot, and/or a snapshot to resume from. It lives on the Env a suite
+// is bound to (Env.Traj) — per run, not process-wide — and is treated as
+// immutable once trials start, so worker goroutines read it without
+// coordination.
 type TrajectoryConfig struct {
 	// HistoryPath, when non-empty, streams each instrumented run's sampled
 	// trajectory (one sweep.HistoryRecord JSONL line every HistoryEvery
@@ -47,20 +47,12 @@ func (c *TrajectoryConfig) HistoryFile(tag string) string {
 	return tagPath(c.HistoryPath, tag)
 }
 
-var trajectory atomic.Pointer[TrajectoryConfig]
-
-// SetTrajectory installs the trajectory instrumentation for subsequent
-// RunCore calls (nil disables it).
-func SetTrajectory(c *TrajectoryConfig) { trajectory.Store(c) }
-
-// Trajectory returns the active trajectory instrumentation (nil if none).
-func Trajectory() *TrajectoryConfig { return trajectory.Load() }
-
-// ConfigureTrajectory validates the shared trajectory flags and installs
-// the resulting config. The -restore snapshot file is parsed (and format-
-// checked) eagerly, so a malformed file fails the command before any trial
-// runs rather than panicking inside a worker.
-func ConfigureTrajectory(f *sweep.Flags) error {
+// ConfigureTrajectory validates the shared trajectory flags and returns
+// the resulting config, for the caller to bind into its Env. The -restore
+// snapshot file is parsed (and format-checked) eagerly, so a malformed
+// file fails the command before any trial runs rather than panicking
+// inside a worker.
+func ConfigureTrajectory(f *sweep.Flags) (*TrajectoryConfig, error) {
 	c := &TrajectoryConfig{
 		HistoryPath:  f.History,
 		HistoryEvery: f.HistoryEvery,
@@ -69,17 +61,16 @@ func ConfigureTrajectory(f *sweep.Flags) error {
 		RestorePath:  f.Restore,
 	}
 	if c.HistoryPath != "" && (!(c.HistoryEvery > 0) || math.IsInf(c.HistoryEvery, 0)) {
-		return fmt.Errorf("-history-dt must be a positive finite interval (got %v)", c.HistoryEvery)
+		return nil, fmt.Errorf("-history-dt must be a positive finite interval (got %v)", c.HistoryEvery)
 	}
 	if f.Restore != "" {
 		snap, err := pop.ReadSnapshotFile[core.State](f.Restore)
 		if err != nil {
-			return fmt.Errorf("-restore: %w", err)
+			return nil, fmt.Errorf("-restore: %w", err)
 		}
 		c.Restore = snap
 	}
-	SetTrajectory(c)
-	return nil
+	return c, nil
 }
 
 // tagPath inserts tag before the path's extension ("hist.jsonl", "t2" →
@@ -95,14 +86,14 @@ func tagPath(path, tag string) string {
 	return path + "." + tag
 }
 
-// RunCore runs one trial of p through core.Run with the active trajectory
+// RunCore runs one trial of p through core.Run with the env's trajectory
 // instrumentation applied: it attaches a history observer, points the
 // snapshot sink at the configured file, and swaps in the restore snapshot.
 // tag distinguishes concurrent trials' artifact files (empty = none). With
 // no instrumentation configured it is exactly p.Run. The returned error is
 // always an artifact-file I/O failure; the Result is valid either way.
-func RunCore(p *core.Protocol, n int, tag string, o core.RunOptions) (core.Result, error) {
-	c := Trajectory()
+func (e Env) RunCore(p *core.Protocol, n int, tag string, o core.RunOptions) (core.Result, error) {
+	c := e.Traj
 	if !c.Active() {
 		return p.Run(n, o), nil
 	}

@@ -14,7 +14,7 @@ import (
 // UpperBoundDef is E14: the Section 3.3 probability-1 upper-bound protocol
 // — after stabilization every agent's report is >= log2 n, and kex equals
 // ⌊log2 n⌋ + 1 exactly.
-func UpperBoundDef(cfg core.Config, ns []int, trials int) Def {
+func UpperBoundDef(env Env, cfg core.Config, ns []int, trials int) Def {
 	const id = "E14"
 	p := upperbound.MustNew(cfg)
 	var points []sweep.Point
@@ -62,19 +62,19 @@ func UpperBoundDef(cfg core.Config, ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // UpperBound renders E14 via a local sweep (legacy form).
 func UpperBound(cfg core.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return UpperBoundDef(cfg, ns, trials).Table(seedBase)
+	return UpperBoundDef(Env{}, cfg, ns, trials).Table(seedBase)
 }
 
 // SyntheticCoinDef is E15: the Appendix B deterministic-transition variant
 // — error and convergence-time parity with the main protocol. Main and
 // synthetic runs are separate points ("E15/main", "E15/synth") drawing
 // independent seeds.
-func SyntheticCoinDef(mainCfg core.Config, scCfg synthcoin.Config, ns []int, trials int) Def {
+func SyntheticCoinDef(env Env, mainCfg core.Config, scCfg synthcoin.Config, ns []int, trials int) Def {
 	const id = "E15"
 	mp := core.MustNew(mainCfg)
 	sp := synthcoin.MustNew(scCfg)
@@ -123,10 +123,10 @@ func SyntheticCoinDef(mainCfg core.Config, scCfg synthcoin.Config, ns []int, tri
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // SyntheticCoin renders E15 via a local sweep (legacy form).
 func SyntheticCoin(mainCfg core.Config, scCfg synthcoin.Config, ns []int, trials int, seedBase uint64) stats.Table {
-	return SyntheticCoinDef(mainCfg, scCfg, ns, trials).Table(seedBase)
+	return SyntheticCoinDef(Env{}, mainCfg, scCfg, ns, trials).Table(seedBase)
 }

@@ -10,15 +10,15 @@ import (
 	"github.com/popsim/popsize/internal/sweep"
 )
 
-// zooRun adapts a registry protocol into a sweep trial function. The
-// runner is built lazily on first trial — not when the def is assembled —
-// so it picks up the backend/parallelism the command configures after
-// building its defs (the same late-binding contract Backend() gives every
-// other def). Registry protocols report failures through Config.OnError
+// zooRun adapts a registry protocol into a sweep trial function, bound to
+// the def's env like every other trial closure. The runner is still built
+// lazily on first trial — table compilation is pure setup cost a def that
+// never runs (resolved but filtered, or resumed from a checkpoint)
+// shouldn't pay. Registry protocols report failures through Config.OnError
 // only for instrumented runs, which the defs never request, so a lookup
 // or compile failure here is a programming error and panics like
 // runLocal's impossible errors do.
-func zooRun(name string, n, trials int) sweep.TrialFunc {
+func zooRun(env Env, name string, n, trials int) sweep.TrialFunc {
 	runner := sync.OnceValues(func() (*protocol.Runner, error) {
 		info, err := protocol.Lookup(name)
 		if err != nil {
@@ -26,7 +26,7 @@ func zooRun(name string, n, trials int) sweep.TrialFunc {
 		}
 		return info.New(protocol.Config{
 			N: n, Trials: trials,
-			Backend: Backend(), Par: Parallelism(),
+			Backend: env.Backend, Par: env.Par,
 		})
 	})
 	return func(tr int, seed uint64) sweep.Values {
@@ -42,12 +42,12 @@ func zooRun(name string, n, trials int) sweep.TrialFunc {
 // zoo — junta size (agents at the maximum geometric level) and settling
 // door vs n. The junta is what phase-clock constructions hand their clock
 // to; its size should stay polylogarithmic while maxlevel tracks log2 n.
-func ZooJuntaDef(ns []int, trials int) Def {
+func ZooJuntaDef(env Env, ns []int, trials int) Def {
 	const id = "E-junta"
 	var points []sweep.Point
 	for _, n := range ns {
 		points = append(points, sweep.Point{
-			Experiment: id, N: n, Trials: trials, Run: zooRun("junta", n, trials),
+			Experiment: id, N: n, Trials: trials, Run: zooRun(env, "junta", n, trials),
 		})
 	}
 	render := func(res *sweep.Results) stats.Table {
@@ -71,18 +71,18 @@ func ZooJuntaDef(ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // ZooRepeatMajorityDef is E-repmaj: the undecided-state ("?") majority
 // building block from a 52/48 split — does the true majority win, and in
 // what parallel time?
-func ZooRepeatMajorityDef(ns []int, trials int) Def {
+func ZooRepeatMajorityDef(env Env, ns []int, trials int) Def {
 	const id = "E-repmaj"
 	var points []sweep.Point
 	for _, n := range ns {
 		points = append(points, sweep.Point{
-			Experiment: id, N: n, Trials: trials, Run: zooRun("repeatmajority", n, trials),
+			Experiment: id, N: n, Trials: trials, Run: zooRun(env, "repeatmajority", n, trials),
 		})
 	}
 	render := func(res *sweep.Results) stats.Table {
@@ -103,18 +103,18 @@ func ZooRepeatMajorityDef(ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }
 
 // ZooBKRCountDef is E-bkr: Berenbrink–Kaaser–Radzik approximate counting —
 // max-propagated geometric levels plus a duplicate flag — whose estimate
 // should land within O(1) of log2 n.
-func ZooBKRCountDef(ns []int, trials int) Def {
+func ZooBKRCountDef(env Env, ns []int, trials int) Def {
 	const id = "E-bkr"
 	var points []sweep.Point
 	for _, n := range ns {
 		points = append(points, sweep.Point{
-			Experiment: id, N: n, Trials: trials, Run: zooRun("bkrcount", n, trials),
+			Experiment: id, N: n, Trials: trials, Run: zooRun(env, "bkrcount", n, trials),
 		})
 	}
 	render := func(res *sweep.Results) stats.Table {
@@ -140,5 +140,5 @@ func ZooBKRCountDef(ns []int, trials int) Def {
 		}
 		return t
 	}
-	return Def{ID: id, Points: points, Render: render}
+	return Def{ID: id, Env: env, Points: points, Render: render}
 }

@@ -24,9 +24,10 @@ import (
 type State string
 
 const (
-	// StatePending: accepted and queued, waiting for admission (the
-	// daemon admits strictly FIFO; a job whose engine environment differs
-	// from the running generation waits for the pool to drain).
+	// StatePending: accepted and queued, waiting for admission. Admission
+	// is immediate for any number of jobs — each job's engine environment
+	// is bound into its own resolved trial closures, so heterogeneous
+	// jobs coexist — and the shared slot pool governs actual concurrency.
 	StatePending State = "pending"
 	// StateRunning: units are executing (or resuming after a restart).
 	StateRunning State = "running"
@@ -45,9 +46,11 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// env is the engine environment a job binds process-wide at run time (the
-// expt package's backend/parallelism globals): jobs sharing an env run
-// concurrently; an env flip waits for the running generation to drain.
+// env is the job's resolved engine environment — the request's backend
+// string parsed once at job construction, plus its intra-trial
+// parallelism target. It is per-job data: the resolver binds the same
+// values into the trial closures, the spec stamp reuses it (no re-parse),
+// and Status surfaces it; nothing about it is process-wide.
 type env struct {
 	backend pop.Backend
 	par     int
@@ -77,15 +80,22 @@ type Job struct {
 	done      chan struct{}      // closed when the runner goroutine exits
 }
 
-func newJob(id string, req sweep.SpecRequest, e env, created time.Time) *Job {
+// newJob builds a job, resolving its engine environment from the request
+// — the one ParseBackend site on the job path; Submit and manifest reload
+// both store the result here.
+func newJob(id string, req sweep.SpecRequest, created time.Time) (*Job, error) {
+	be, err := req.ParseBackend()
+	if err != nil {
+		return nil, err
+	}
 	return &Job{
-		id: id, req: req, env: e,
+		id: id, req: req, env: env{backend: be, par: max(req.Par, 0)},
 		state:   StatePending,
 		have:    map[sweep.Key]bool{},
 		updated: make(chan struct{}),
 		created: created,
 		done:    make(chan struct{}),
-	}
+	}, nil
 }
 
 // ID returns the job's identifier.
@@ -112,6 +122,11 @@ type Status struct {
 	Records int               `json:"records"`
 	Error   string            `json:"error,omitempty"`
 	Request sweep.SpecRequest `json:"request"`
+	// Backend and Par echo the job's resolved engine environment: the
+	// request's backend string parsed to its canonical name, and the
+	// intra-trial parallelism target (0 = auto).
+	Backend string `json:"backend"`
+	Par     int    `json:"par"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -126,6 +141,7 @@ func (j *Job) Status() Status {
 		ID: j.id, State: j.state,
 		Units: j.units, Records: len(j.records),
 		Error: j.errMsg, Request: j.req, Created: j.created,
+		Backend: j.env.backend.String(), Par: j.env.par,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -15,7 +15,6 @@ import (
 	"sync"
 	"time"
 
-	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/sweep"
 )
 
@@ -36,15 +35,11 @@ type Config struct {
 	Dir string
 	// Slots bounds the shared worker pool (<= 0: GOMAXPROCS).
 	Slots int
-	// Resolve maps requests to sweep points.
+	// Resolve maps requests to sweep points. The resolver binds each
+	// request's engine environment (backend, par) into the returned trial
+	// closures, so jobs with different environments run concurrently —
+	// the Manager imposes no admission ordering beyond slot fairness.
 	Resolve Resolver
-	// SetEnv, when non-nil, is called with a job's engine environment
-	// before its first unit runs. The expt generators bind a process-wide
-	// backend/parallelism (the daemon passes expt.SetBackend +
-	// SetParallelism), so the Manager admits concurrently only jobs that
-	// share an environment — an env flip waits for the running generation
-	// to drain (strict FIFO admission, so a flip is never starved).
-	SetEnv func(backend pop.Backend, par int)
 }
 
 // Manager owns the job registry, the shared slot pool, and the state
@@ -59,11 +54,9 @@ type Manager struct {
 	baseCtx context.Context
 	stopAll context.CancelFunc
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	queue   []*Job // pending, FIFO
-	running int
-	cur     env
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	queue []*Job // pending, admitted FIFO
 }
 
 // NewManager opens (or creates) the state directory, reloads every job
@@ -170,11 +163,10 @@ func (m *Manager) reload() error {
 		if err := json.Unmarshal(data, &man); err != nil {
 			return fmt.Errorf("jobs: manifest %s: %w", name, err)
 		}
-		be, err := man.Request.ParseBackend()
+		j, err := newJob(man.ID, man.Request, man.Created)
 		if err != nil {
 			return fmt.Errorf("jobs: manifest %s: %w", name, err)
 		}
-		j := newJob(man.ID, man.Request, env{backend: be, par: man.Request.Par}, man.Created)
 		j.state = man.State
 		j.errMsg = man.Error
 		j.started = man.Started
@@ -231,15 +223,14 @@ func (m *Manager) Submit(req sweep.SpecRequest) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	be, err := req.ParseBackend()
-	if err != nil {
-		return nil, err
-	}
 	id, err := newID()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInternal, err)
 	}
-	j := newJob(id, req, env{backend: be, par: req.Par}, time.Now())
+	j, err := newJob(id, req, time.Now())
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range points {
 		j.units += p.Trials
 	}
@@ -279,26 +270,17 @@ func (m *Manager) List() []*Job {
 	return out
 }
 
-// admitLocked starts queued jobs strictly FIFO: the head job starts when
-// nothing is running or when it shares the running engine environment; a
-// head job needing an env flip blocks the queue until the pool drains
-// (which also means it cannot be starved by later same-env arrivals).
+// admitLocked starts every queued job immediately, in FIFO order. There
+// is no admission gate: each job's engine environment lives in its own
+// resolved trial closures, so heterogeneous jobs coexist, and the shared
+// slot pool is what bounds concurrency and keeps it fair.
 func (m *Manager) admitLocked() {
 	for len(m.queue) > 0 {
 		j := m.queue[0]
+		m.queue = m.queue[1:]
 		if j.State() != StatePending {
 			// Canceled while queued.
-			m.queue = m.queue[1:]
 			continue
-		}
-		if m.running > 0 && j.env != m.cur {
-			return
-		}
-		m.queue = m.queue[1:]
-		m.running++
-		m.cur = j.env
-		if m.cfg.SetEnv != nil {
-			m.cfg.SetEnv(j.env.backend, j.env.par)
 		}
 		ctx, cancel := context.WithCancel(m.baseCtx)
 		j.mu.Lock()
@@ -309,15 +291,9 @@ func (m *Manager) admitLocked() {
 }
 
 // run executes one admitted job to a terminal state (or to daemon
-// shutdown, which leaves it resumable), then re-admits the queue.
+// shutdown, which leaves it resumable).
 func (m *Manager) run(ctx context.Context, j *Job) {
-	defer func() {
-		close(j.done)
-		m.mu.Lock()
-		m.running--
-		m.admitLocked()
-		m.mu.Unlock()
-	}()
+	defer close(j.done)
 	j.setState(StateRunning, "")
 	// The running state is persisted as pending (see persist) purely so a
 	// killed daemon requeues it; failures to persist are not fatal to the
@@ -333,10 +309,19 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 		fail(err.Error())
 		return
 	}
-	spec, err := j.req.Spec(points)
-	if err != nil {
-		fail(err.Error())
-		return
+	// Stamp the spec from the env resolved at job construction — the same
+	// values the resolver bound into the trial closures — rather than
+	// re-parsing the request's backend string.
+	seed := j.req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	spec := sweep.Spec{
+		Points:   points,
+		BaseSeed: seed,
+		Backend:  j.env.backend,
+		Workers:  j.req.Workers,
+		Par:      j.env.par,
 	}
 	// Every job may spawn up to the whole pool's worth of worker
 	// goroutines; actual concurrency is governed by slot acquisition, so

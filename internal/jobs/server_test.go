@@ -5,18 +5,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"github.com/popsim/popsize/internal/expt"
-	"github.com/popsim/popsize/internal/pop"
 	"github.com/popsim/popsize/internal/sweep"
 )
 
@@ -514,34 +511,31 @@ func TestTwoJobFairness(t *testing.T) {
 	}
 }
 
-// TestEnvGenerations checks the admission rule for the expt package's
-// process-wide backend/parallelism: a job needing a different engine
-// environment waits for the running generation to drain, and SetEnv fires
-// once per generation in submission order.
-func TestEnvGenerations(t *testing.T) {
-	var mu sync.Mutex
-	var envs []string
-	dir := t.TempDir()
-	m, err := NewManager(Config{
-		Dir: dir, Slots: 2, Resolve: testResolver(10 * time.Millisecond),
-		SetEnv: func(b pop.Backend, par int) {
-			mu.Lock()
-			envs = append(envs, fmt.Sprintf("%s/%d", b, par))
-			mu.Unlock()
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestHeterogeneousJobsOverlap asserts the admission contract after the
+// env-generation barrier's removal: jobs with different engine
+// environments are admitted immediately and run concurrently. Both jobs
+// must be observably running at the same moment, their Status timestamps
+// must overlap, and each Status must surface its resolved env.
+func TestHeterogeneousJobsOverlap(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), 2, 10*time.Millisecond)
 	defer m.Close()
 
-	a, err := m.Submit(sweep.SpecRequest{Experiments: []string{"slow"}, Ns: []int{4}, Trials: 4, Backend: "seq"})
+	a, err := m.Submit(sweep.SpecRequest{Experiments: []string{"slow"}, Ns: []int{4}, Trials: 40, Backend: "seq"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.Submit(sweep.SpecRequest{Experiments: []string{"slow"}, Ns: []int{4}, Trials: 4, Backend: "dense"})
+	b, err := m.Submit(sweep.SpecRequest{Experiments: []string{"slow"}, Ns: []int{4}, Trials: 40, Backend: "dense", Par: 2})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Direct proof the barrier is gone: both jobs report running at the
+	// same poll, which strict env-generation FIFO could never allow.
+	deadline := time.Now().Add(10 * time.Second)
+	for a.State() != StateRunning || b.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never ran concurrently: states %q/%q", a.State(), b.State())
+		}
+		time.Sleep(time.Millisecond)
 	}
 	<-a.Done()
 	<-b.Done()
@@ -549,13 +543,56 @@ func TestEnvGenerations(t *testing.T) {
 	if sa.State != StateDone || sb.State != StateDone {
 		t.Fatalf("jobs ended %q/%q", sa.State, sb.State)
 	}
-	if sb.Started.Before(*sa.Finished) {
-		t.Fatalf("dense job started %v before the seq generation drained at %v",
-			sb.Started, sa.Finished)
+	// Timestamp overlap: each job started before the other finished.
+	if !sa.Started.Before(*sb.Finished) || !sb.Started.Before(*sa.Finished) {
+		t.Fatalf("status timestamps do not overlap: a=[%v,%v] b=[%v,%v]",
+			sa.Started, sa.Finished, sb.Started, sb.Finished)
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	if len(envs) != 2 || !strings.HasPrefix(envs[0], "seq") || !strings.HasPrefix(envs[1], "dense") {
-		t.Fatalf("SetEnv generations %v, want [seq/0 dense/0]", envs)
+	if sa.Backend != "seq" || sa.Par != 0 {
+		t.Fatalf("seq job surfaces env %s/%d, want seq/0", sa.Backend, sa.Par)
+	}
+	if sb.Backend != "dense" || sb.Par != 2 {
+		t.Fatalf("dense job surfaces env %s/%d, want dense/2", sb.Backend, sb.Par)
+	}
+}
+
+// TestHeterogeneousFairness is TestTwoJobFairness across an env boundary —
+// the scenario the old admission barrier outright forbade: with one shared
+// slot, a small dense-backend job submitted behind a big seq-backend job
+// must finish while the big job is still running, via round-robin slot
+// rotation alone.
+func TestHeterogeneousFairness(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), 1, 15*time.Millisecond)
+	defer m.Close()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	big := postJob(t, ts, `{"experiments":["slow"],"ns":[4],"trials":40,"backend":"seq"}`)
+	jb, _ := m.Get(big.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(jb.Records()) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("big job never progressed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	small := postJob(t, ts, `{"experiments":["fast"],"ns":[4],"trials":2,"backend":"dense"}`)
+	js, _ := m.Get(small.ID)
+	select {
+	case <-js.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("small dense job starved behind the big seq one")
+	}
+	if js.State() != StateDone {
+		t.Fatalf("small job ended %q", js.State())
+	}
+	if n := len(jb.Records()); n >= 40 {
+		t.Fatalf("big job already finished (%d records) — fairness unobservable", n)
+	}
+	if st := getStatus(t, ts, small.ID); st.Backend != "dense" {
+		t.Fatalf("small job surfaces backend %q, want dense", st.Backend)
+	}
+	if _, err := m.Cancel(context.Background(), big.ID); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -171,7 +171,7 @@ func Lookup(name string) (Info, error) {
 // TagPath inserts tag before the path's extension ("hist.jsonl", "t2" →
 // "hist.t2.jsonl"), or appends it when the final path element has none,
 // so concurrent trials never write through the same file name. (The same
-// convention expt.RunCore applies to the main protocol's artifacts.)
+// convention expt's Env.RunCore applies to the main protocol's artifacts.)
 func TagPath(path, tag string) string {
 	if tag == "" {
 		return path

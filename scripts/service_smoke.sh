@@ -20,8 +20,8 @@ BASE="http://$ADDR"
 # One slot serializes the units, so the kill lands squarely mid-queue.
 BODY='{"experiments":["F2"],"ns":[1024,2048,4096],"trials":4,"seed":5,"backend":"seq"}'
 
-start_daemon() { # $1 = state dir
-  "$workdir/popsimd" -addr "$ADDR" -dir "$1" -slots 1 2>>"$workdir/daemon.log" &
+start_daemon() { # $1 = state dir, $2 = slots (default 1)
+  "$workdir/popsimd" -addr "$ADDR" -dir "$1" -slots "${2:-1}" 2>>"$workdir/daemon.log" &
   daemon_pid=$!
   for _ in $(seq 1 100); do
     if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return; fi
@@ -32,15 +32,19 @@ start_daemon() { # $1 = state dir
   exit 1
 }
 
-submit() { # prints the job id
-  curl -fsS -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' -d "$BODY" \
+submit() { # $1 = request body (default $BODY); prints the job id
+  curl -fsS -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' -d "${1:-$BODY}" \
     | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1
+}
+
+state_of() { # $1 = job id; prints the job's state
+  curl -fsS "$BASE/v1/jobs/$1" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -n 1
 }
 
 wait_done() { # $1 = job id; blocks until the job is terminal, requires "done"
   # The records stream follows the job until it reaches a terminal state.
   curl -fsS "$BASE/v1/jobs/$1/records" >/dev/null
-  state=$(curl -fsS "$BASE/v1/jobs/$1" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -n 1)
+  state=$(state_of "$1")
   if [ "$state" != "done" ]; then
     echo "job $1 ended in state $state, want done" >&2
     cat "$workdir/daemon.log" >&2
@@ -86,3 +90,56 @@ daemon_pid=""
 
 cmp "$workdir/ref.canon" "$workdir/resumed.canon"
 echo "kill/restart record set byte-identical to the uninterrupted run ($ref_lines records)"
+
+# Concurrent heterogeneous jobs: with per-job engine environments there is
+# no env-generation barrier, so a seq job and a dense job must run side by
+# side — and each must still produce the same canonical bytes as a solo
+# run of the same submission.
+DENSE_BODY='{"experiments":["F2"],"ns":[1024,2048],"trials":4,"seed":9,"backend":"dense"}'
+
+echo "== dense reference: solo run =="
+start_daemon "$workdir/dense-ref-state"
+dense_ref_id=$(submit "$DENSE_BODY")
+[ -n "$dense_ref_id" ] || { echo "dense submission returned no job id" >&2; exit 1; }
+wait_done "$dense_ref_id"
+kill "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+"$workdir/popsimd" -canon "$workdir/dense-ref-state/$dense_ref_id.jsonl" >"$workdir/dense-ref.canon"
+echo "dense reference run: $(wc -l <"$workdir/dense-ref.canon") records"
+
+echo "== concurrent run: seq + dense jobs side by side =="
+start_daemon "$workdir/conc-state" 2
+seq_id=$(submit)
+dense_id=$(submit "$DENSE_BODY")
+[ -n "$seq_id" ] && [ -n "$dense_id" ] || { echo "concurrent submission returned no job id" >&2; exit 1; }
+# Both jobs must be observably running at the same moment — the old
+# env-generation admission would have parked the dense job as pending
+# until the seq job finished.
+overlap=""
+for _ in $(seq 1 300); do
+  if [ "$(state_of "$seq_id")" = running ] && [ "$(state_of "$dense_id")" = running ]; then
+    overlap=1
+    break
+  fi
+  sleep 0.05
+done
+if [ -z "$overlap" ]; then
+  echo "seq ($(state_of "$seq_id")) and dense ($(state_of "$dense_id")) jobs never ran concurrently" >&2
+  cat "$workdir/daemon.log" >&2
+  exit 1
+fi
+# The status surfaces each job's resolved engine environment.
+curl -fsS "$BASE/v1/jobs/$dense_id" | grep -q '"backend": "dense"' \
+  || { echo "dense job status does not surface its backend" >&2; exit 1; }
+curl -fsS "$BASE/v1/jobs/$seq_id" | grep -q '"backend": "seq"' \
+  || { echo "seq job status does not surface its backend" >&2; exit 1; }
+echo "both jobs running concurrently"
+wait_done "$seq_id"
+wait_done "$dense_id"
+kill "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+"$workdir/popsimd" -canon "$workdir/conc-state/$seq_id.jsonl" >"$workdir/conc-seq.canon"
+"$workdir/popsimd" -canon "$workdir/conc-state/$dense_id.jsonl" >"$workdir/conc-dense.canon"
+cmp "$workdir/ref.canon" "$workdir/conc-seq.canon"
+cmp "$workdir/dense-ref.canon" "$workdir/conc-dense.canon"
+echo "concurrent heterogeneous jobs byte-identical to their solo runs"
