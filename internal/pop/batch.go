@@ -630,7 +630,7 @@ func (b *BatchSim[S]) runBatchSplit(kmax int64) int64 {
 		if fanOut {
 			g = newParGroup(workers)
 		}
-		multisetSeqSplit(g, deriveSeed(batchSeed, 2), 1, b.comp, slots)
+		multisetSeqSplit(g, deriveSeed(batchSeed, 2), 1, b.comp, slots, nil)
 		g.wait()
 	} else {
 		// Short batch relative to the live-state count: per-slot Fenwick
@@ -864,7 +864,7 @@ func (b *BatchSim[S]) sampleSlotsByState(slots []int32) {
 		// skip the untouched tail entirely. The suffix tree conditions
 		// correctly: slots already allocated went to earlier states, and
 		// the chain factorizes in id order.
-		if c*remainingSlots < batchHeavyMean*remainingPop && remainingSlots < 2*int64(len(b.counts)-id) {
+		if lightDraw(c, remainingSlots, batchHeavyMean, remainingPop) && remainingSlots < 2*int64(len(b.counts)-id) {
 			b.tree.reset(b.counts[id:])
 			for ; remainingSlots > 0; remainingSlots-- {
 				sid := int32(id + b.tree.findAndDec(b.rng.Int64N(remainingPop)))

@@ -779,7 +779,7 @@ func (d *DenseSim[S]) pairRowsSplit(workers int, seed uint64, ell int64) {
 	if workers > 1 && ell >= 2*parMinForkItems {
 		g = newParGroup(workers)
 	}
-	d.pairRowsNode(g, &mu, &misses, seed, 1, 0, len(d.rows), d.send, ell)
+	d.pairRowsNode(g, &mu, &misses, seed, 1, 0, len(d.rows), d.send, ell, nil)
 	g.wait()
 	// Canonical order regardless of which worker recorded which miss,
 	// then coalesce entries of the same cell (a row's random tail can
@@ -809,20 +809,23 @@ func (d *DenseSim[S]) pairRowsSplit(workers int, seed uint64, ell int64) {
 
 // pairRowsNode is one splitter node of pairRowsSplit, covering rows
 // [rlo, rhi) whose receivers total R and whose sender multiset is snd
-// (owned by the node; Σ snd = R).
-func (d *DenseSim[S]) pairRowsNode(g *parGroup, mu *sync.Mutex, misses *[]denseMiss, seed, path uint64, rlo, rhi int, snd []int64, R int64) {
+// (owned by the node; Σ snd = R). owned, when non-nil, is snd's
+// int64Pool pointer: this node's subtree is the buffer's last reader and
+// returns it to the pool on the way out (the root's snd is the
+// engine-owned d.send, which passes nil).
+func (d *DenseSim[S]) pairRowsNode(g *parGroup, mu *sync.Mutex, misses *[]denseMiss, seed, path uint64, rlo, rhi int, snd []int64, R int64, owned *[]int64) {
 	for {
 		if R == 0 || rhi <= rlo {
-			return
+			break
 		}
 		if rhi-rlo == 1 || R <= splitLeafMass {
 			d.pairRowsLeaf(mu, misses, nodeRand(seed, path), rlo, rhi, snd, R)
-			return
+			break
 		}
 		rmid := (rlo + rhi) / 2
 		RL := d.rowCum[rmid] - d.rowCum[rlo]
 		RR := R - RL
-		sndL := make([]int64, len(snd))
+		sndLP, sndL := getInts(len(snd))
 		if RL > 0 {
 			r := nodeRand(seed, path)
 			rem := R
@@ -834,7 +837,7 @@ func (d *DenseSim[S]) pairRowsNode(g *parGroup, mu *sync.Mutex, misses *[]denseM
 				if c == 0 {
 					continue
 				}
-				if c*left < batchHeavyMean*rem && left < 2*int64(len(snd)-b) {
+				if lightDraw(c, left, batchHeavyMean, rem) && left < 2*int64(len(snd)-b) {
 					chainTail(r, snd, b, len(snd), rem, left,
 						func(j int, k int64) { sndL[j] += k; snd[j] -= k })
 					left = 0
@@ -857,13 +860,16 @@ func (d *DenseSim[S]) pairRowsNode(g *parGroup, mu *sync.Mutex, misses *[]denseM
 		}
 		lPath, rPath := 2*path, 2*path+1
 		if g != nil && min(RL, RR) >= parMinForkItems {
-			sndR, rR, rHi := snd, RR, rhi
-			g.fork(func() { d.pairRowsNode(g, mu, misses, seed, rPath, rmid, rHi, sndR, rR) })
-			rhi, snd, R, path = rmid, sndL, RL, lPath
+			sndR, rR, rHi, ownedR := snd, RR, rhi, owned
+			g.fork(func() { d.pairRowsNode(g, mu, misses, seed, rPath, rmid, rHi, sndR, rR, ownedR) })
+			rhi, snd, R, path, owned = rmid, sndL, RL, lPath, sndLP
 			continue
 		}
-		d.pairRowsNode(g, mu, misses, seed, lPath, rlo, rmid, sndL, RL)
+		d.pairRowsNode(g, mu, misses, seed, lPath, rlo, rmid, sndL, RL, sndLP)
 		rlo, R, path = rmid, RR, rPath
+	}
+	if owned != nil {
+		int64Pool.Put(owned)
 	}
 }
 
@@ -877,7 +883,7 @@ func (d *DenseSim[S]) pairRowsNode(g *parGroup, mu *sync.Mutex, misses *[]denseM
 func (d *DenseSim[S]) pairRowsLeaf(mu *sync.Mutex, misses *[]denseMiss, r *rand.Rand, rlo, rhi int, snd []int64, R int64) {
 	tree := fenwickPool.Get().(*fenwick)
 	tree.reset(snd)
-	localPost := make([]int64, len(d.post))
+	localPostP, localPost := getInts(len(d.post))
 	var localMisses []denseMiss
 	var hitCells, hits, tblHits int64
 	emit := func(row int, a, b int32, k int64) {
@@ -919,7 +925,7 @@ func (d *DenseSim[S]) pairRowsLeaf(mu *sync.Mutex, misses *[]denseMiss, r *rand.
 			if c == 0 {
 				continue
 			}
-			if c*ra < denseHeavyCell*remPop && ra < 2*int64(len(snd)-bs) {
+			if lightDraw(c, ra, denseHeavyCell, remPop) && ra < 2*int64(len(snd)-bs) {
 				break
 			}
 			var k int64
@@ -955,13 +961,17 @@ func (d *DenseSim[S]) pairRowsLeaf(mu *sync.Mutex, misses *[]denseMiss, r *rand.
 	d.stats.PairCells += hitCells
 	d.stats.CacheHits += hits
 	d.stats.TableHits += tblHits
+	// Element writes, not addPost: interning is deferred to the serial
+	// miss pass, so d.post cannot grow here, and addPost's header
+	// reassignment would race with other leaves' len(d.post) reads.
 	for id, c := range localPost {
 		if c > 0 {
-			d.addPost(int32(id), c)
+			d.post[id] += c
 		}
 	}
 	*misses = append(*misses, localMisses...)
 	mu.Unlock()
+	int64Pool.Put(localPostP)
 }
 
 // cacheLookup is the read-only half of applyCell: it reports the cached
@@ -994,7 +1004,7 @@ func (d *DenseSim[S]) sampleParticipants(dst []int64, m int64) {
 		// the untouched tail entirely. The suffix conditions correctly —
 		// slots already allocated went to earlier states, and the chain
 		// factorizes in id order.
-		if c*m < batchHeavyMean*remPop && m < 2*int64(len(d.counts)-id) {
+		if lightDraw(c, m, batchHeavyMean, remPop) && m < 2*int64(len(d.counts)-id) {
 			d.tree.reset(d.counts[id:])
 			for ; m > 0; m-- {
 				sid := int32(id + d.tree.findAndDec(d.rng.Int64N(remPop)))
@@ -1049,7 +1059,7 @@ func (d *DenseSim[S]) pairAndApply(ell int64) {
 			if c == 0 {
 				continue
 			}
-			if c*ra < denseHeavyCell*remPop && ra < 2*int64(len(d.counts)-bs) {
+			if lightDraw(c, ra, denseHeavyCell, remPop) && ra < 2*int64(len(d.counts)-bs) {
 				break
 			}
 			var k int64

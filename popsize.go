@@ -51,8 +51,11 @@
 //     interaction counts (multivariate hypergeometric draws), applying
 //     every deterministic transition once per state pair with its
 //     multiplicity. Per-batch work depends on the live-state count, not
-//     the batch length, and no agent-sized allocation exists anywhere —
-//     populations of 10⁹–10¹⁰ agents are routine. It delegates to the
+//     the batch length: every hypergeometric draw runs in constant
+//     expected time (an HRUA rejection sampler above the light-state
+//     crossover, overflow-safe to N = 10¹²), and no agent-sized
+//     allocation exists anywhere — populations of 10⁹–10¹⁰ agents are
+//     routine. It delegates to the
 //     batched engine while a configuration holds more live states than
 //     its √n-scaled threshold.
 //
